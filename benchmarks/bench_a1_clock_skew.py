@@ -1,0 +1,10 @@
+"""A1 - Ablation: slow-clock fraction vs the o(n) poorly-synchronised budget.
+
+Regenerates ablation A1 from DESIGN.md section 4's design choices.
+"""
+
+from .conftest import run_and_check
+
+
+def test_clock_skew(benchmark, bench_scale, bench_store):
+    run_and_check(benchmark, "A1", bench_scale, bench_store)

@@ -1,0 +1,10 @@
+"""A2 - Ablation: Sync-Gadget sampling length (the log^3 log n choice).
+
+Regenerates ablation A2 from DESIGN.md section 4's design choices.
+"""
+
+from .conftest import run_and_check
+
+
+def test_sync_samples(benchmark, bench_scale, bench_store):
+    run_and_check(benchmark, "A2", bench_scale, bench_store)

@@ -1,0 +1,10 @@
+"""A3 - Ablation: block length Delta (the log n / log log n choice).
+
+Regenerates ablation A3 from DESIGN.md section 4's design choices.
+"""
+
+from .conftest import run_and_check
+
+
+def test_delta_factor(benchmark, bench_scale, bench_store):
+    run_and_check(benchmark, "A3", bench_scale, bench_store)

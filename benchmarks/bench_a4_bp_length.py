@@ -1,0 +1,10 @@
+"""A4 - Ablation: Bit-Propagation sub-phase length.
+
+Regenerates ablation A4 from DESIGN.md section 4's design choices.
+"""
+
+from .conftest import run_and_check
+
+
+def test_bp_length(benchmark, bench_scale, bench_store):
+    run_and_check(benchmark, "A4", bench_scale, bench_store)

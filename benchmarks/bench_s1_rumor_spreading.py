@@ -1,0 +1,11 @@
+"""S1 - Substrate: rumour spreading (push / pull / push-pull) on K_n.
+
+Validates the broadcast primitive that Bit-Propagation instantiates
+("we combine the two-choices process with a rumor spreading algorithm").
+"""
+
+from .conftest import run_and_check
+
+
+def test_rumor_spreading(benchmark, bench_scale, bench_store):
+    run_and_check(benchmark, "S1", bench_scale, bench_store)

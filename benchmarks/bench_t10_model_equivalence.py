@@ -1,0 +1,10 @@
+"""T10 - Section 1: sequential and continuous-time models have the same run time.
+
+Regenerates experiment T10 from DESIGN.md's per-experiment index.
+"""
+
+from .conftest import run_and_check
+
+
+def test_model_equivalence(benchmark, bench_scale, bench_store):
+    run_and_check(benchmark, "T10", bench_scale, bench_store)

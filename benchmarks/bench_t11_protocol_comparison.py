@@ -1,0 +1,10 @@
+"""T11 - Introduction: the protocol landscape (voter / 3-majority / USD / Two-Choices / OneExtraBit).
+
+Regenerates experiment T11 from DESIGN.md's per-experiment index.
+"""
+
+from .conftest import run_and_check
+
+
+def test_protocol_comparison(benchmark, bench_scale, bench_store):
+    run_and_check(benchmark, "T11", bench_scale, bench_store)

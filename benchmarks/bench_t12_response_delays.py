@@ -1,0 +1,10 @@
+"""T12 - Discussion: robustness to exponential response delays.
+
+Regenerates experiment T12 from DESIGN.md's per-experiment index.
+"""
+
+from .conftest import run_and_check
+
+
+def test_response_delays(benchmark, bench_scale, bench_store):
+    run_and_check(benchmark, "T12", bench_scale, bench_store)

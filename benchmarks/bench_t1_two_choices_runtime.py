@@ -1,0 +1,10 @@
+"""T1 - Theorem 1.1 upper bound: Two-Choices needs O((n/c1) log n) rounds.
+
+Regenerates experiment T1 from DESIGN.md's per-experiment index.
+"""
+
+from .conftest import run_and_check
+
+
+def test_two_choices_runtime(benchmark, bench_scale, bench_store):
+    run_and_check(benchmark, "T1", bench_scale, bench_store)

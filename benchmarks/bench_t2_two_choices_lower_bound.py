@@ -1,0 +1,10 @@
+"""T2 - Theorem 1.1 lower bound: balanced runners-up force Omega(n/c1 + log n) rounds.
+
+Regenerates experiment T2 from DESIGN.md's per-experiment index.
+"""
+
+from .conftest import run_and_check
+
+
+def test_two_choices_lower_bound(benchmark, bench_scale, bench_store):
+    run_and_check(benchmark, "T2", bench_scale, bench_store)

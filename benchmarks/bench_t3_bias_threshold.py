@@ -1,0 +1,10 @@
+"""T3 - Theorem 1.1 threshold: sqrt(n) gaps lose with constant probability, sqrt(n log n) gaps win w.h.p.
+
+Regenerates experiment T3 from DESIGN.md's per-experiment index.
+"""
+
+from .conftest import run_and_check
+
+
+def test_bias_threshold(benchmark, bench_scale, bench_store):
+    run_and_check(benchmark, "T3", bench_scale, bench_store)

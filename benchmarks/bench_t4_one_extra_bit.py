@@ -1,0 +1,10 @@
+"""T4 - Theorem 1.2: the OneExtraBit crossover over plain Two-Choices.
+
+Regenerates experiment T4 from DESIGN.md's per-experiment index.
+"""
+
+from .conftest import run_and_check
+
+
+def test_one_extra_bit(benchmark, bench_scale, bench_store):
+    run_and_check(benchmark, "T4", bench_scale, bench_store)

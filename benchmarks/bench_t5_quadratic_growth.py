@@ -1,0 +1,10 @@
+"""T5 - Section 2: per-phase quadratic amplification of c1/c2.
+
+Regenerates experiment T5 from DESIGN.md's per-experiment index.
+"""
+
+from .conftest import run_and_check
+
+
+def test_quadratic_growth(benchmark, bench_scale, bench_store):
+    run_and_check(benchmark, "T5", bench_scale, bench_store)

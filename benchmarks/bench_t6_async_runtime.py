@@ -1,0 +1,10 @@
+"""T6 - Theorem 1.3: the asynchronous protocol converges in Theta(log n) parallel time.
+
+Regenerates experiment T6 from DESIGN.md's per-experiment index.
+"""
+
+from .conftest import run_and_check
+
+
+def test_async_runtime(benchmark, bench_scale, bench_store):
+    run_and_check(benchmark, "T6", bench_scale, bench_store)

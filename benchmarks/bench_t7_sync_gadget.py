@@ -1,0 +1,10 @@
+"""T7 - Section 3.1: the Sync Gadget keeps working-time spread bounded.
+
+Regenerates experiment T7 from DESIGN.md's per-experiment index.
+"""
+
+from .conftest import run_and_check
+
+
+def test_sync_gadget(benchmark, bench_scale, bench_store):
+    run_and_check(benchmark, "T7", bench_scale, bench_store)

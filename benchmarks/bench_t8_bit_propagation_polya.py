@@ -1,0 +1,10 @@
+"""T8 - Section 3.1: Bit-Propagation preserves the colour mix (Polya-urn martingale).
+
+Regenerates experiment T8 from DESIGN.md's per-experiment index.
+"""
+
+from .conftest import run_and_check
+
+
+def test_bit_propagation_polya(benchmark, bench_scale, bench_store):
+    run_and_check(benchmark, "T8", bench_scale, bench_store)

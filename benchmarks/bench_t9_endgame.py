@@ -1,0 +1,10 @@
+"""T9 - Section 3.2: consensus precedes the first termination in the endgame.
+
+Regenerates experiment T9 from DESIGN.md's per-experiment index.
+"""
+
+from .conftest import run_and_check
+
+
+def test_endgame(benchmark, bench_scale, bench_store):
+    run_and_check(benchmark, "T9", bench_scale, bench_store)

@@ -1,0 +1,56 @@
+"""Shared plumbing for the benchmark targets.
+
+Each ``bench_tN_*.py`` regenerates one experiment from DESIGN.md's
+per-experiment index (the paper has no tables/figures of its own — the
+experiments are the claim-derived equivalents; see DESIGN.md §1).
+
+Usage::
+
+    pytest benchmarks/ --benchmark-only                  # quick scale
+    REPRO_BENCH_SCALE=full pytest benchmarks/ --benchmark-only
+
+Every target prints its report table (run pytest with ``-s`` to see it
+live) and persists the JSON payload under ``benchmarks/results/`` so
+EXPERIMENTS.md numbers are regenerable.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import FULL, QUICK, ResultStore, run_experiment
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """Experiment scale selected via REPRO_BENCH_SCALE (quick|full)."""
+    return FULL if os.environ.get("REPRO_BENCH_SCALE") == "full" else QUICK
+
+
+@pytest.fixture(scope="session")
+def bench_store():
+    return ResultStore(RESULTS_DIR)
+
+
+def run_and_check(benchmark, experiment_id, scale, store):
+    """Run one experiment under pytest-benchmark and assert its checks.
+
+    ``pedantic`` with a single round: the experiments are statistical
+    sweeps with internal trial replication, so wall-clock variance
+    across repeated harness invocations is not the interesting metric.
+    """
+    report = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id,),
+        kwargs={"scale": scale, "store": store},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(report.format())
+    failed = [name for name, ok in report.checks.items() if not ok]
+    assert not failed, f"{experiment_id} shape checks failed: {failed}"
+    return report

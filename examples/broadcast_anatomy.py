@@ -1,0 +1,56 @@
+"""Anatomy of a broadcast: the engine inside Bit-Propagation.
+
+The paper's speed-up "combines the two-choices process with a rumor
+spreading algorithm" — Bit-Propagation is pull-based rumour spreading
+of the extra bit.  This script dissects the substrate: it runs push,
+pull and push–pull broadcast on ``K_n`` (exact counts-level simulation,
+so ``n`` can be huge), prints the informed-count growth curves as
+sparklines, and compares the measured round counts against the classic
+predictions (push ``~ log2 n + ln n``, push–pull ``~ log3 n``).
+
+Run::
+
+    python examples/broadcast_anatomy.py [n]
+"""
+
+import math
+import sys
+
+from repro.bench import format_table
+from repro.protocols import spread_rumor_counts
+from repro.viz import sparkline
+
+
+def main() -> int:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 1_000_000
+
+    print(f"broadcast on K_n, n={n:,}, from a single informed node")
+    print()
+    rows = []
+    curves = {}
+    for mode in ("push", "pull", "push-pull"):
+        result = spread_rumor_counts(n, mode=mode, seed=42)
+        informed = result.trace.count_matrix()[:, 0]
+        curves[mode] = informed
+        if mode == "push":
+            predicted = math.log2(n) + math.log(n)
+        elif mode == "pull":
+            predicted = math.log2(n) + math.log(n)
+        else:
+            predicted = math.log(n) / math.log(3) + 2 * math.log(math.log(n))
+        rows.append([mode, result.rounds, round(predicted, 1), round(result.rounds / math.log2(n), 2)])
+    print(format_table(["mode", "rounds", "classic prediction", "rounds / log2 n"], rows))
+
+    print()
+    print("informed-count growth (one block per round, height = fraction informed):")
+    for mode, informed in curves.items():
+        print(f"  {mode:9s}  {sparkline(informed, peak=n)}")
+    print()
+    print("push-pull's tail is shorter: pull finishes off the last stragglers")
+    print("exponentially fast once most nodes are informed — exactly the")
+    print("property Bit-Propagation leans on to cover all n nodes.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,126 @@
+"""repro — Rapid Asynchronous Plurality Consensus (PODC 2017).
+
+A full reproduction library for Elsässer, Friedetzky, Kaaser,
+Mallmann-Trenn & Trinker, *Brief Announcement: Rapid Asynchronous
+Plurality Consensus* (PODC '17).
+
+Quickstart
+----------
+>>> from repro import AsyncPluralityConsensus, multiplicative_bias
+>>> config = multiplicative_bias(n=2000, k=8, ratio=1.5)
+>>> result = AsyncPluralityConsensus().run(config, seed=7)
+>>> result.converged and result.winner == 0
+True
+
+Layout
+------
+``repro.core``
+    Colour configurations, state arrays, results, RNG policy.
+``repro.graphs``
+    ``K_n`` with O(1) sampling plus sparse topologies.
+``repro.engine``
+    Synchronous / counts-exact / sequential / continuous engines.
+``repro.protocols``
+    Two-Choices, OneExtraBit, the asynchronous phased protocol with its
+    Sync Gadget, and the Voter / 3-Majority / USD baselines.
+``repro.analysis``
+    Pólya urn, martingale diagnostics, statistics, theorem predictions.
+``repro.workloads``
+    Initial-configuration generators and sweep grids.
+``repro.bench``
+    The experiment harness regenerating every claim-derived table.
+"""
+
+from .core import (
+    AsyncNodeState,
+    ColorConfiguration,
+    ConfigurationError,
+    NodeArrayState,
+    ReproError,
+    RunResult,
+    Trace,
+    assignment_from_counts,
+    counts_from_assignment,
+)
+from .engine import (
+    ContinuousEngine,
+    CountsEngine,
+    ExponentialDelay,
+    NoDelay,
+    SequentialEngine,
+    SynchronousEngine,
+    consensus_reached,
+    near_consensus,
+)
+from .graphs import CompleteGraph, erdos_renyi, ring, torus
+from .protocols import (
+    AsyncPluralityConsensus,
+    AsyncPluralityProtocol,
+    ClockSkew,
+    OneExtraBitCounts,
+    OneExtraBitSynchronous,
+    PhaseSchedule,
+    ThreeMajorityCounts,
+    TwoChoicesCounts,
+    TwoChoicesSequential,
+    TwoChoicesSynchronous,
+    UndecidedStateCounts,
+    VoterCounts,
+    near_consensus_start,
+    run_endgame,
+)
+from .workloads import (
+    additive_gap,
+    balanced,
+    multiplicative_bias,
+    power_law,
+    theorem_1_1_gap,
+    two_colors,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AsyncNodeState",
+    "ColorConfiguration",
+    "ConfigurationError",
+    "NodeArrayState",
+    "ReproError",
+    "RunResult",
+    "Trace",
+    "assignment_from_counts",
+    "counts_from_assignment",
+    "ContinuousEngine",
+    "CountsEngine",
+    "ExponentialDelay",
+    "NoDelay",
+    "SequentialEngine",
+    "SynchronousEngine",
+    "consensus_reached",
+    "near_consensus",
+    "CompleteGraph",
+    "erdos_renyi",
+    "ring",
+    "torus",
+    "AsyncPluralityConsensus",
+    "AsyncPluralityProtocol",
+    "ClockSkew",
+    "OneExtraBitCounts",
+    "OneExtraBitSynchronous",
+    "PhaseSchedule",
+    "ThreeMajorityCounts",
+    "TwoChoicesCounts",
+    "TwoChoicesSequential",
+    "TwoChoicesSynchronous",
+    "UndecidedStateCounts",
+    "VoterCounts",
+    "near_consensus_start",
+    "run_endgame",
+    "additive_gap",
+    "balanced",
+    "multiplicative_bias",
+    "power_law",
+    "theorem_1_1_gap",
+    "two_colors",
+    "__version__",
+]

@@ -1,0 +1,60 @@
+"""Analysis: urn models, martingale diagnostics, statistics, theory."""
+
+from .convergence import per_phase_ratio_growth, ratio_trace, synchrony_summary, time_to_fraction
+from .meanfield import (
+    MEAN_FIELD_MAPS,
+    iterate_map,
+    rounds_to_dominance,
+    three_majority_map,
+    two_choices_map,
+    undecided_state_map,
+    voter_map,
+)
+from .martingale import (
+    azuma_hoeffding_bound,
+    empirical_drift,
+    increment_means,
+    is_supermartingale_like,
+    max_increment_mean,
+)
+from .polya import PolyaUrn, limit_beta_parameters, limit_fraction_variance
+from .statistics import (
+    SuccessEstimate,
+    bootstrap_mean_ci,
+    estimate_success,
+    fit_log_slope,
+    fit_power_law,
+    summarize,
+    wilson_interval,
+)
+from . import theory
+
+__all__ = [
+    "per_phase_ratio_growth",
+    "ratio_trace",
+    "synchrony_summary",
+    "time_to_fraction",
+    "azuma_hoeffding_bound",
+    "empirical_drift",
+    "increment_means",
+    "is_supermartingale_like",
+    "max_increment_mean",
+    "PolyaUrn",
+    "MEAN_FIELD_MAPS",
+    "iterate_map",
+    "rounds_to_dominance",
+    "three_majority_map",
+    "two_choices_map",
+    "undecided_state_map",
+    "voter_map",
+    "limit_beta_parameters",
+    "limit_fraction_variance",
+    "SuccessEstimate",
+    "bootstrap_mean_ci",
+    "estimate_success",
+    "fit_log_slope",
+    "fit_power_law",
+    "summarize",
+    "wilson_interval",
+    "theory",
+]

@@ -1,0 +1,94 @@
+"""Empirical martingale and drift diagnostics.
+
+The paper's analysis leans on martingale techniques (Pólya urn
+fractions, Azuma/Hoeffding concentration) and drift theory (the
+endgame).  These cannot be "reproduced" symbolically, but their
+*measurable consequences* can be checked on simulation traces; this
+module provides the estimators the tests and experiment T8 use.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..core.exceptions import ConfigurationError
+
+__all__ = [
+    "increment_means",
+    "max_increment_mean",
+    "azuma_hoeffding_bound",
+    "empirical_drift",
+    "is_supermartingale_like",
+]
+
+
+def increment_means(paths: np.ndarray) -> np.ndarray:
+    """Mean one-step increment at every time index, across sample paths.
+
+    Parameters
+    ----------
+    paths:
+        ``(runs, T)`` matrix; each row is one sampled trajectory of the
+        would-be martingale (e.g. a colour fraction over urn draws).
+
+    Returns
+    -------
+    Length ``T - 1`` vector of ``mean(X_{t+1} - X_t)`` over runs.  For a
+    martingale every entry is 0 in expectation; the estimator's noise
+    floor scales like ``std / sqrt(runs)``.
+    """
+    paths = np.asarray(paths, dtype=float)
+    if paths.ndim != 2 or paths.shape[1] < 2:
+        raise ConfigurationError("paths must be a (runs, T>=2) matrix")
+    return np.diff(paths, axis=1).mean(axis=0)
+
+
+def max_increment_mean(paths: np.ndarray) -> float:
+    """Largest absolute mean increment — a scalar martingale violation score."""
+    return float(np.max(np.abs(increment_means(paths))))
+
+
+def azuma_hoeffding_bound(increment_bound: float, steps: int, deviation: float) -> float:
+    """Azuma–Hoeffding tail bound ``P(|X_T - X_0| >= d) <= 2 exp(-d^2 / (2 T c^2))``.
+
+    Used to predict how far an urn fraction can drift over a
+    Bit-Propagation sub-phase with bounded increments ``c``.
+    """
+    if increment_bound <= 0 or steps <= 0:
+        raise ConfigurationError("increment_bound and steps must be positive")
+    exponent = -(deviation**2) / (2.0 * steps * increment_bound**2)
+    return min(1.0, 2.0 * math.exp(exponent))
+
+
+def empirical_drift(paths: np.ndarray) -> Tuple[float, float]:
+    """Mean and standard error of the per-step drift across whole paths.
+
+    Drift theory for the endgame predicts a strictly negative drift of
+    the minority mass; this estimator quantifies it from traces.
+    """
+    paths = np.asarray(paths, dtype=float)
+    if paths.ndim != 2 or paths.shape[1] < 2:
+        raise ConfigurationError("paths must be a (runs, T>=2) matrix")
+    per_run = (paths[:, -1] - paths[:, 0]) / (paths.shape[1] - 1)
+    mean = float(per_run.mean())
+    sem = float(per_run.std(ddof=1) / math.sqrt(paths.shape[0])) if paths.shape[0] > 1 else float("inf")
+    return mean, sem
+
+
+def is_supermartingale_like(paths: np.ndarray, tolerance_sems: float = 3.0) -> bool:
+    """True when no time index shows a significantly *positive* mean increment.
+
+    ``tolerance_sems`` standard errors of the per-index increment mean
+    are allowed above zero, so the check is robust to sampling noise.
+    """
+    paths = np.asarray(paths, dtype=float)
+    increments = np.diff(paths, axis=1)
+    means = increments.mean(axis=0)
+    if paths.shape[0] > 1:
+        sems = increments.std(axis=0, ddof=1) / math.sqrt(paths.shape[0])
+    else:
+        sems = np.full(means.shape, np.inf)
+    return bool(np.all(means <= tolerance_sems * sems + 1e-12))

@@ -1,0 +1,137 @@
+"""Deterministic mean-field dynamics of the synchronous protocols.
+
+On ``K_n`` the expected one-round update of the colour *fractions*
+``p_j = c_j / n`` has a closed form for every protocol in this library;
+iterating it gives the ``n -> infinity`` deterministic trajectory that
+the stochastic processes concentrate around (law of large numbers).
+This module provides those maps, their iteration, and a deterministic
+rounds-to-dominance predictor — the quantitative backbone behind
+the round counts measured in experiments T1/T2/T4.
+
+The maps (self-sampling corrections vanish as ``n -> infinity``):
+
+* **voter**:        ``p_j' = p_j``                      (a martingale — no drift)
+* **two-choices**:  ``p_j' = p_j (1 - S2) + p_j²``       with ``S2 = Σ p_i²``
+* **3-majority**:   ``p_j' = p_j + p_j (p_j - S2)``      (same drift as two-choices!)
+* **usd**:          on the extended simplex with an undecided mass ``u``:
+  decided ``p_j' = p_j (p_j + u)``, plus undecided adopting ``u·p_j``.
+
+The well-known coincidence that 3-majority and two-choices share the
+same mean-field drift (they differ only in noise) is checked in the
+tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..core.exceptions import ConfigurationError
+
+__all__ = [
+    "voter_map",
+    "two_choices_map",
+    "three_majority_map",
+    "undecided_state_map",
+    "iterate_map",
+    "rounds_to_dominance",
+    "MEAN_FIELD_MAPS",
+]
+
+
+def _validate_simplex(p: np.ndarray) -> np.ndarray:
+    p = np.asarray(p, dtype=float)
+    if p.ndim != 1 or p.size == 0:
+        raise ConfigurationError("fractions must be a non-empty 1-D vector")
+    if (p < -1e-12).any():
+        raise ConfigurationError("fractions must be non-negative")
+    total = p.sum()
+    if abs(total - 1.0) > 1e-9:
+        raise ConfigurationError(f"fractions must sum to 1, got {total}")
+    return np.clip(p, 0.0, 1.0)
+
+
+def voter_map(p: Sequence[float]) -> np.ndarray:
+    """Pull voting drifts nowhere: the expected fractions are fixed."""
+    return _validate_simplex(p).copy()
+
+
+def two_choices_map(p: Sequence[float]) -> np.ndarray:
+    """``p_j' = p_j (1 - S2) + p_j²``: keep unless both samples agree on
+    some colour (probability ``S2``), adopt your own colour's square."""
+    p = _validate_simplex(p)
+    s2 = float(np.sum(p * p))
+    return p * (1.0 - s2) + p * p
+
+
+def three_majority_map(p: Sequence[float]) -> np.ndarray:
+    """Adopt the majority of three samples (first-sample tie-break).
+
+    ``P(adopt j) = q³ + 3q²(1-q) + q((1-q)² - (S2 - q²))`` reduces to
+    ``p_j + p_j (p_j - S2)`` — the same drift as Two-Choices.
+    """
+    p = _validate_simplex(p)
+    s2 = float(np.sum(p * p))
+    return p + p * (p - s2)
+
+
+def undecided_state_map(p_extended: Sequence[float]) -> np.ndarray:
+    """USD on the extended simplex ``(p_1..p_k, u)``.
+
+    A decided-``j`` node stays decided iff it samples its own colour or
+    an undecided node; an undecided node adopts the colour it samples.
+    """
+    p = _validate_simplex(p_extended)
+    if p.size < 2:
+        raise ConfigurationError("usd map needs at least one colour plus the undecided slot")
+    colors, u = p[:-1], p[-1]
+    new_colors = colors * (colors + u) + u * colors
+    new_u = 1.0 - float(new_colors.sum())
+    return np.append(new_colors, max(0.0, new_u))
+
+
+MEAN_FIELD_MAPS = {
+    "voter": voter_map,
+    "two-choices": two_choices_map,
+    "three-majority": three_majority_map,
+    "undecided-state": undecided_state_map,
+}
+
+
+def iterate_map(
+    step: Callable[[np.ndarray], np.ndarray],
+    initial: Sequence[float],
+    rounds: int,
+) -> np.ndarray:
+    """Iterate a mean-field map; returns a ``(rounds + 1, k)`` trajectory."""
+    if rounds < 0:
+        raise ConfigurationError(f"rounds must be non-negative, got {rounds}")
+    trajectory = [np.asarray(initial, dtype=float)]
+    for _ in range(rounds):
+        trajectory.append(step(trajectory[-1]))
+    return np.vstack(trajectory)
+
+
+def rounds_to_dominance(
+    step: Callable[[np.ndarray], np.ndarray],
+    initial: Sequence[float],
+    threshold: float = 0.99,
+    max_rounds: int = 100_000,
+) -> Optional[int]:
+    """Deterministic rounds until the leading fraction reaches *threshold*.
+
+    Returns ``None`` when the map stalls (e.g. the voter martingale, or
+    an exactly tied start on a symmetric map).
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ConfigurationError(f"threshold must be in (0, 1], got {threshold}")
+    state = np.asarray(initial, dtype=float)
+    for round_index in range(max_rounds + 1):
+        if float(state.max()) >= threshold:
+            return round_index
+        advanced = step(state)
+        if np.allclose(advanced, state, atol=1e-15):
+            return None
+        state = advanced
+    return None

@@ -1,0 +1,154 @@
+"""Statistical utilities for the experiment harness.
+
+All the paper's statements are "with high probability" or in
+expectation; the harness estimates them from repeated trials.  This
+module provides the estimators used everywhere: Wilson score intervals
+for success probabilities, log–log slope fits for scaling exponents,
+and bootstrap confidence intervals for means.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..core.exceptions import ConfigurationError
+from ..core.rng import SeedLike, as_generator
+
+__all__ = [
+    "wilson_interval",
+    "SuccessEstimate",
+    "estimate_success",
+    "fit_power_law",
+    "fit_log_slope",
+    "bootstrap_mean_ci",
+    "summarize",
+    "ks_two_sample",
+]
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Preferred over the normal approximation because experiment sample
+    sizes are modest and success rates sit near 0 or 1 (w.h.p. events).
+    """
+    if trials <= 0:
+        raise ConfigurationError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ConfigurationError(f"successes must be in 0..{trials}, got {successes}")
+    p = successes / trials
+    denom = 1.0 + z**2 / trials
+    centre = (p + z**2 / (2 * trials)) / denom
+    margin = (z / denom) * math.sqrt(p * (1 - p) / trials + z**2 / (4 * trials**2))
+    low = max(0.0, centre - margin)
+    high = min(1.0, centre + margin)
+    # Degenerate outcomes pin the matching endpoint exactly (guards the
+    # point estimate against float round-off at p = 0 or 1).
+    if successes == 0:
+        low = 0.0
+    if successes == trials:
+        high = 1.0
+    return low, high
+
+
+@dataclass(frozen=True)
+class SuccessEstimate:
+    """Point estimate plus Wilson interval for a success probability."""
+
+    successes: int
+    trials: int
+    rate: float
+    low: float
+    high: float
+
+    def excludes(self, probability: float) -> bool:
+        """True when *probability* lies outside the interval."""
+        return probability < self.low or probability > self.high
+
+
+def estimate_success(outcomes: Sequence[bool], z: float = 1.96) -> SuccessEstimate:
+    """Summarise boolean trial outcomes."""
+    outcomes = list(outcomes)
+    trials = len(outcomes)
+    successes = sum(1 for o in outcomes if o)
+    low, high = wilson_interval(successes, trials, z)
+    return SuccessEstimate(successes=successes, trials=trials, rate=successes / trials, low=low, high=high)
+
+
+def fit_power_law(x: Sequence[float], y: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares fit of ``y = C * x^alpha``; returns ``(alpha, C)``.
+
+    Used to check scaling shapes: e.g. Two-Choices round counts vs
+    ``n / c1`` should fit ``alpha ~ 1`` (T1), and the async protocol's
+    parallel time vs ``log n`` should fit ``alpha ~ 1`` as well (T6).
+    """
+    x = np.asarray(list(x), dtype=float)
+    y = np.asarray(list(y), dtype=float)
+    if x.size != y.size or x.size < 2:
+        raise ConfigurationError("need >= 2 matching points for a power-law fit")
+    if (x <= 0).any() or (y <= 0).any():
+        raise ConfigurationError("power-law fits require strictly positive data")
+    slope, intercept = np.polyfit(np.log(x), np.log(y), 1)
+    return float(slope), float(math.exp(intercept))
+
+
+def fit_log_slope(x: Sequence[float], y: Sequence[float]) -> float:
+    """Slope of ``y`` against ``log x`` (for ``y = a log x + b`` shapes)."""
+    x = np.asarray(list(x), dtype=float)
+    y = np.asarray(list(y), dtype=float)
+    if x.size != y.size or x.size < 2:
+        raise ConfigurationError("need >= 2 matching points")
+    if (x <= 0).any():
+        raise ConfigurationError("log fits require positive x")
+    slope, _ = np.polyfit(np.log(x), y, 1)
+    return float(slope)
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float], confidence: float = 0.95, resamples: int = 2000, seed: SeedLike = 0
+) -> Tuple[float, float, float]:
+    """``(mean, low, high)`` via the percentile bootstrap."""
+    values = np.asarray(list(values), dtype=float)
+    if values.size == 0:
+        raise ConfigurationError("cannot bootstrap an empty sample")
+    rng = as_generator(seed)
+    means = rng.choice(values, size=(resamples, values.size), replace=True).mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(means, [alpha, 1.0 - alpha])
+    return float(values.mean()), float(low), float(high)
+
+
+def ks_two_sample(first: Sequence[float], second: Sequence[float]) -> Tuple[float, float]:
+    """Two-sample Kolmogorov–Smirnov test: ``(statistic, p_value)``.
+
+    Used by experiment T10 to compare the *whole distribution* of run
+    times between the sequential and continuous models, not just their
+    means.  Backed by :func:`scipy.stats.ks_2samp`.
+    """
+    first = np.asarray(list(first), dtype=float)
+    second = np.asarray(list(second), dtype=float)
+    if first.size < 2 or second.size < 2:
+        raise ConfigurationError("KS test needs at least 2 samples on each side")
+    from scipy import stats as scipy_stats
+
+    result = scipy_stats.ks_2samp(first, second)
+    return float(result.statistic), float(result.pvalue)
+
+
+def summarize(values: Sequence[float]) -> dict:
+    """Compact descriptive summary used in result tables."""
+    values = np.asarray(list(values), dtype=float)
+    if values.size == 0:
+        raise ConfigurationError("cannot summarise an empty sample")
+    return {
+        "count": int(values.size),
+        "mean": float(values.mean()),
+        "std": float(values.std(ddof=1)) if values.size > 1 else 0.0,
+        "min": float(values.min()),
+        "median": float(np.median(values)),
+        "max": float(values.max()),
+    }

@@ -1,0 +1,132 @@
+"""Closed-form predictions from the paper's theorems.
+
+Every experiment compares a measured series against the corresponding
+function here (up to a constant factor, fitted — not assumed — by the
+harness).  Keeping them in one module makes the "paper-vs-measured"
+bookkeeping in EXPERIMENTS.md mechanical.
+
+Logarithms are natural throughout; the theorems are stated up to
+constants, so the base only rescales the fitted constant.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.exceptions import ConfigurationError
+
+__all__ = [
+    "two_choices_rounds",
+    "two_choices_required_gap",
+    "two_choices_lower_bound",
+    "critical_gap",
+    "one_extra_bit_rounds",
+    "one_extra_bit_required_gap",
+    "async_parallel_time",
+    "async_max_opinions",
+    "sequential_tick_spread",
+    "delta",
+    "sync_gadget_samples",
+    "quadratic_amplification",
+]
+
+
+def _check_n(n: int) -> None:
+    if n < 2:
+        raise ConfigurationError(f"n must be >= 2, got {n}")
+
+
+def two_choices_rounds(n: int, c1: int) -> float:
+    """Theorem 1.1 upper bound shape: ``(n / c1) * log n`` rounds."""
+    _check_n(n)
+    if not 0 < c1 <= n:
+        raise ConfigurationError(f"c1 must be in 1..{n}, got {c1}")
+    return (n / c1) * math.log(n)
+
+
+def two_choices_required_gap(n: int, z: float = 1.0) -> float:
+    """Theorem 1.1 bias precondition: ``z * sqrt(n log n)``."""
+    _check_n(n)
+    return z * math.sqrt(n * math.log(n))
+
+
+def two_choices_lower_bound(n: int, c1: int) -> float:
+    """Theorem 1.1 lower bound shape: ``n / c1 + log n`` rounds.
+
+    With balanced runners-up (``c2 = ... = ck``) and ``c1 ~ n / k``
+    this is the ``Omega(k)`` wall the OneExtraBit protocol beats.
+    """
+    _check_n(n)
+    if not 0 < c1 <= n:
+        raise ConfigurationError(f"c1 must be in 1..{n}, got {c1}")
+    return n / c1 + math.log(n)
+
+
+def critical_gap(n: int) -> float:
+    """The ``O(sqrt n)`` gap at which C2 wins with constant probability."""
+    _check_n(n)
+    return math.sqrt(n)
+
+
+def one_extra_bit_rounds(n: int, k: int, c1: int, c2: int) -> float:
+    """Theorem 1.2 shape:
+    ``(log(c1 / (c1 - c2)) + log log n) * (log k + log log n)``.
+    """
+    _check_n(n)
+    if not 0 < c2 < c1 <= n:
+        raise ConfigurationError(f"need 0 < c2 < c1 <= n, got c1={c1}, c2={c2}")
+    if k < 2:
+        raise ConfigurationError(f"k must be >= 2, got {k}")
+    log_log_n = math.log(max(math.log(n), math.e))
+    phase_count = math.log(c1 / (c1 - c2)) + log_log_n
+    phase_length = math.log(k) + log_log_n
+    return max(phase_count, 1.0) * max(phase_length, 1.0)
+
+
+def one_extra_bit_required_gap(n: int, z: float = 1.0) -> float:
+    """Theorem 1.2 bias precondition: ``z * sqrt(n) * log^{3/2} n``."""
+    _check_n(n)
+    return z * math.sqrt(n) * math.log(n) ** 1.5
+
+
+def async_parallel_time(n: int) -> float:
+    """Theorem 1.3 shape: ``Theta(log n)`` parallel time — also the
+    universal lower bound (some node stays unselected for
+    ``Omega(log n)`` time in the sequential model)."""
+    _check_n(n)
+    return math.log(n)
+
+
+def async_max_opinions(n: int) -> float:
+    """Theorem 1.3's admissible opinions: ``exp(log n / log log n)``."""
+    _check_n(n)
+    log_n = math.log(n)
+    return math.exp(log_n / max(math.log(log_n), 1.0))
+
+
+def sequential_tick_spread(n: int) -> float:
+    """Section 3: numbers of ticks of different nodes differ by up to
+    ``O(log n)`` over ``Theta(log n)`` time without synchronisation."""
+    _check_n(n)
+    return math.log(n)
+
+
+def delta(n: int) -> float:
+    """The weak-synchronicity tolerance ``Theta(log n / log log n)``."""
+    _check_n(n)
+    log_n = math.log(n)
+    return log_n / max(math.log(log_n), 1.0)
+
+
+def sync_gadget_samples(n: int) -> float:
+    """The Sync Gadget's sampling length ``log^3 log n``."""
+    _check_n(n)
+    return max(math.log(max(math.log(n), math.e)), 1.0) ** 3
+
+
+def quadratic_amplification(ratio: float) -> float:
+    """Per-phase growth of ``c1 / cj``: the paper's
+    ``c1'/cj' >= (1 - o(1)) (c1/cj)^2``."""
+    if ratio <= 0:
+        raise ConfigurationError(f"ratio must be positive, got {ratio}")
+    return ratio * ratio

@@ -1,0 +1,24 @@
+"""Benchmark harness: the experiment registry and its plumbing."""
+
+from .experiments import EXPERIMENTS, experiment_ids, run_all, run_experiment
+from .harness import FULL, QUICK, ExperimentReport, ExperimentScale, run_trials
+from .report import render_markdown_table, render_payload, render_report
+from .store import ResultStore
+from .tables import format_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "experiment_ids",
+    "run_all",
+    "run_experiment",
+    "FULL",
+    "QUICK",
+    "ExperimentReport",
+    "ExperimentScale",
+    "run_trials",
+    "ResultStore",
+    "render_markdown_table",
+    "render_payload",
+    "render_report",
+    "format_table",
+]

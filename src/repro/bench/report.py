@@ -1,0 +1,66 @@
+"""Markdown report generation from a result store.
+
+``python -m repro report --store results_full`` renders every stored
+experiment payload into one markdown document — the mechanical source
+behind EXPERIMENTS.md's numbers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .store import ResultStore
+from .tables import format_cell
+
+__all__ = ["render_markdown_table", "render_payload", "render_report"]
+
+
+def render_markdown_table(headers: List[str], rows: List[List]) -> str:
+    """GitHub-flavoured markdown table."""
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(format_cell(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def render_payload(payload: dict) -> str:
+    """One experiment payload -> one markdown section."""
+    lines = [
+        f"## {payload['experiment_id']} — {payload['title']}",
+        "",
+        f"**Claim:** {payload['claim']}",
+        "",
+        render_markdown_table(payload["headers"], payload["rows"]),
+        "",
+    ]
+    checks = payload.get("checks") or {}
+    if checks:
+        lines.append("**Shape checks:** " + ", ".join(
+            f"{name} {'PASS' if ok else 'FAIL'}" for name, ok in checks.items()
+        ))
+        lines.append("")
+    for note in payload.get("notes") or []:
+        lines.append(f"*Note:* {note}")
+        lines.append("")
+    elapsed = payload.get("elapsed_seconds")
+    if elapsed is not None:
+        lines.append(f"*Elapsed:* {elapsed:.1f}s")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_report(store: ResultStore, ids: Optional[List[str]] = None, title: str = "Experiment report") -> str:
+    """Render every stored experiment (or a subset) into one document."""
+    selected = ids if ids is not None else store.list_ids()
+    sections = [f"# {title}", ""]
+    failures = 0
+    for experiment_id in selected:
+        payload = store.load(experiment_id)
+        sections.append(render_payload(payload))
+        failures += sum(1 for ok in (payload.get("checks") or {}).values() if not ok)
+    verdict = "all shape checks pass" if failures == 0 else f"{failures} shape check(s) FAIL"
+    sections.insert(2, f"_{len(selected)} experiments; {verdict}._\n")
+    return "\n".join(sections)

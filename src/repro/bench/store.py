@@ -1,0 +1,53 @@
+"""JSON result store.
+
+Each experiment run can be persisted as ``<dir>/<experiment_id>.json``
+so EXPERIMENTS.md's paper-vs-measured numbers are regenerable and the
+CLI can re-print past results without re-running the sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..core.exceptions import ExperimentError
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """Directory-backed key-value store for experiment payloads."""
+
+    def __init__(self, directory: str = "results"):
+        self.directory = Path(directory)
+
+    def save(self, experiment_id: str, payload: Dict) -> Path:
+        """Persist *payload* under the experiment id (overwrites)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(experiment_id)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        return path
+
+    def load(self, experiment_id: str) -> Dict:
+        path = self._path(experiment_id)
+        if not path.exists():
+            raise ExperimentError(f"no stored result for {experiment_id!r} in {self.directory}")
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def exists(self, experiment_id: str) -> bool:
+        return self._path(experiment_id).exists()
+
+    def list_ids(self) -> List[str]:
+        if not self.directory.exists():
+            return []
+        return sorted(p.stem for p in self.directory.glob("*.json"))
+
+    def _path(self, experiment_id: str) -> Path:
+        safe = experiment_id.replace("/", "_")
+        if not safe:
+            raise ExperimentError("experiment id must be non-empty")
+        return self.directory / f"{safe}.json"

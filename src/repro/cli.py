@@ -1,0 +1,127 @@
+"""Command-line interface.
+
+Examples::
+
+    python -m repro list
+    python -m repro run T6
+    python -m repro run all --scale full --store results
+    python -m repro show T6 --store results
+    python -m repro schedule 100000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench import FULL, QUICK, ExperimentScale, ResultStore, experiment_ids, run_experiment
+from .bench.tables import format_table
+from .protocols.schedule import PhaseSchedule
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-consensus",
+        description="Rapid asynchronous plurality consensus (PODC 2017) — experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = sub.add_parser("list", help="list registered experiments")
+
+    run_cmd = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_cmd.add_argument("experiment", help="experiment id (T1..T12) or 'all'")
+    run_cmd.add_argument("--scale", choices=["quick", "full"], default="quick")
+    run_cmd.add_argument("--trials", type=int, default=None, help="override trial count")
+    run_cmd.add_argument("--seed", type=int, default=None, help="override master seed")
+    run_cmd.add_argument("--store", default=None, help="directory to persist JSON results")
+
+    show_cmd = sub.add_parser("show", help="re-print a stored experiment result")
+    show_cmd.add_argument("experiment", help="experiment id")
+    show_cmd.add_argument("--store", default="results")
+
+    report_cmd = sub.add_parser("report", help="render all stored results as one markdown report")
+    report_cmd.add_argument("--store", default="results")
+    report_cmd.add_argument("--title", default="Experiment report")
+
+    sched_cmd = sub.add_parser("schedule", help="print the compiled phase schedule for n nodes")
+    sched_cmd.add_argument("n", type=int)
+    sched_cmd.add_argument("--no-sync", action="store_true", help="disable the Sync Gadget")
+    return parser
+
+
+def _resolve_scale(args) -> ExperimentScale:
+    scale = FULL if args.scale == "full" else QUICK
+    if args.trials is not None or args.seed is not None:
+        scale = ExperimentScale(
+            name=scale.name,
+            trials=args.trials if args.trials is not None else scale.trials,
+            size_factor=scale.size_factor,
+            seed=args.seed if args.seed is not None else scale.seed,
+        )
+    return scale
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        rows = [[eid] for eid in experiment_ids()]
+        print(format_table(["experiment"], rows))
+        return 0
+
+    if args.command == "run":
+        scale = _resolve_scale(args)
+        store = ResultStore(args.store) if args.store else None
+        ids = experiment_ids() if args.experiment.lower() == "all" else [args.experiment]
+        failures = 0
+        for eid in ids:
+            report = run_experiment(eid, scale=scale, store=store)
+            print(report.format())
+            print()
+            if not report.all_checks_pass():
+                failures += 1
+        if failures:
+            print(f"{failures} experiment(s) had failing shape checks", file=sys.stderr)
+        return 1 if failures else 0
+
+    if args.command == "show":
+        store = ResultStore(args.store)
+        payload = store.load(args.experiment)
+        print(f"=== {payload['experiment_id']}: {payload['title']} ===")
+        print(f"claim: {payload['claim']}")
+        print()
+        print(format_table(payload["headers"], payload["rows"]))
+        for name, passed in payload.get("checks", {}).items():
+            print(f"check {name}: {'PASS' if passed else 'FAIL'}")
+        return 0
+
+    if args.command == "report":
+        from .bench.report import render_report
+
+        print(render_report(ResultStore(args.store), title=args.title))
+        return 0
+
+    if args.command == "schedule":
+        schedule = PhaseSchedule.compile(args.n, sync_enabled=not args.no_sync)
+        print(schedule.describe())
+        landmarks = [
+            ["phase starts", ", ".join(str(s) for s in schedule.phase_starts)],
+            ["sync starts", ", ".join(str(s) for s in schedule.sync_starts)],
+            ["jump slots", ", ".join(str(s) for s in schedule.jump_slots)],
+            ["part one length", str(schedule.part_one_length)],
+            ["endgame ticks", str(schedule.endgame_ticks)],
+            ["total length", str(schedule.total_length)],
+        ]
+        print(format_table(["landmark", "working-time slots"], landmarks))
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces the command set
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

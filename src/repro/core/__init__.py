@@ -1,0 +1,50 @@
+"""Core model types shared by every subsystem.
+
+Public surface:
+
+* :class:`~repro.core.colors.ColorConfiguration` — immutable opinion
+  counts with the paper's bias quantities.
+* :class:`~repro.core.state.NodeArrayState` /
+  :class:`~repro.core.state.AsyncNodeState` — agent-level state arrays.
+* :class:`~repro.core.results.RunResult` / :class:`~repro.core.results.Trace`
+  — run outcomes and snapshots.
+* :mod:`~repro.core.rng` — seeding and stream splitting.
+* the exception hierarchy in :mod:`~repro.core.exceptions`.
+"""
+
+from .colors import ColorConfiguration, assignment_from_counts, counts_from_assignment
+from .exceptions import (
+    ConfigurationError,
+    ConvergenceError,
+    ExperimentError,
+    ProtocolError,
+    ReproError,
+    ScheduleError,
+    TopologyError,
+)
+from .results import RunResult, Trace, TracePoint
+from .rng import as_generator, random_seed, spawn_seeds, split
+from .state import NO_COLOR, AsyncNodeState, NodeArrayState
+
+__all__ = [
+    "ColorConfiguration",
+    "assignment_from_counts",
+    "counts_from_assignment",
+    "ConfigurationError",
+    "ConvergenceError",
+    "ExperimentError",
+    "ProtocolError",
+    "ReproError",
+    "ScheduleError",
+    "TopologyError",
+    "RunResult",
+    "Trace",
+    "TracePoint",
+    "as_generator",
+    "random_seed",
+    "spawn_seeds",
+    "split",
+    "NO_COLOR",
+    "AsyncNodeState",
+    "NodeArrayState",
+]

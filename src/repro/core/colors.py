@@ -1,0 +1,193 @@
+"""Colour (opinion) configurations.
+
+The paper studies plurality consensus where ``n`` nodes are partitioned
+into ``k`` colour classes ``C1..Ck`` with sizes ``c1 >= c2 >= ... >= ck``.
+:class:`ColorConfiguration` is the canonical immutable description of
+such a partition: a counts vector plus convenience accessors for the
+quantities every theorem is phrased in (``c1``, ``c2``, additive bias
+``c1 - c2``, multiplicative bias ``c1 / c2``).
+
+Colours are integers ``0..k-1``.  Index 0 is *not* required to be the
+plurality colour — use :attr:`ColorConfiguration.plurality` — but the
+workload generators in :mod:`repro.workloads` produce configurations
+sorted in descending order so colour 0 is the plurality in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from .exceptions import ConfigurationError
+
+__all__ = ["ColorConfiguration", "counts_from_assignment", "assignment_from_counts"]
+
+
+@dataclass(frozen=True)
+class ColorConfiguration:
+    """Immutable vector of colour-class sizes.
+
+    Parameters
+    ----------
+    counts:
+        Sequence of non-negative ints; ``counts[j]`` is the number of
+        nodes currently holding colour ``j``.  At least one entry must
+        be positive.
+    """
+
+    counts: Tuple[int, ...]
+
+    def __init__(self, counts: Iterable[int]):
+        counts = tuple(int(c) for c in counts)
+        if not counts:
+            raise ConfigurationError("a colour configuration needs at least one colour")
+        if any(c < 0 for c in counts):
+            raise ConfigurationError(f"colour counts must be non-negative: {counts}")
+        if sum(counts) <= 0:
+            raise ConfigurationError("a colour configuration needs at least one node")
+        object.__setattr__(self, "counts", counts)
+
+    # ------------------------------------------------------------------
+    # basic quantities
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Total number of nodes."""
+        return sum(self.counts)
+
+    @property
+    def k(self) -> int:
+        """Number of colour classes (including empty ones)."""
+        return len(self.counts)
+
+    @property
+    def support_size(self) -> int:
+        """Number of colours with at least one supporter."""
+        return sum(1 for c in self.counts if c > 0)
+
+    # ------------------------------------------------------------------
+    # plurality structure
+    # ------------------------------------------------------------------
+    @property
+    def plurality(self) -> int:
+        """Index of the (first) largest colour class."""
+        return int(np.argmax(self.counts))
+
+    @property
+    def sorted_counts(self) -> Tuple[int, ...]:
+        """Counts in descending order (the paper's ``c1 >= c2 >= ...``)."""
+        return tuple(sorted(self.counts, reverse=True))
+
+    @property
+    def c1(self) -> int:
+        """Size of the largest colour class."""
+        return self.sorted_counts[0]
+
+    @property
+    def c2(self) -> int:
+        """Size of the second largest colour class (0 if only one colour)."""
+        ordered = self.sorted_counts
+        return ordered[1] if len(ordered) > 1 else 0
+
+    @property
+    def additive_bias(self) -> int:
+        """The paper's initial gap ``c1 - c2``."""
+        return self.c1 - self.c2
+
+    @property
+    def multiplicative_bias(self) -> float:
+        """The ratio ``c1 / c2`` (``inf`` when ``c2 == 0``)."""
+        if self.c2 == 0:
+            return float("inf")
+        return self.c1 / self.c2
+
+    def fractions(self) -> np.ndarray:
+        """Colour fractions ``counts / n`` as a float array."""
+        return np.asarray(self.counts, dtype=float) / self.n
+
+    # ------------------------------------------------------------------
+    # predicates used by theorem statements
+    # ------------------------------------------------------------------
+    def has_unique_plurality(self) -> bool:
+        """True iff exactly one colour attains the maximum count."""
+        top = self.c1
+        return sum(1 for c in self.counts if c == top) == 1
+
+    def satisfies_additive_bias(self, z: float = 1.0) -> bool:
+        """Check Theorem 1.1's precondition ``c1 - c2 >= z*sqrt(n log n)``."""
+        n = self.n
+        return self.additive_bias >= z * np.sqrt(n * max(np.log(n), 1.0))
+
+    def satisfies_multiplicative_bias(self, epsilon: float) -> bool:
+        """Check Theorem 1.3's precondition ``c1 >= (1+eps)*ci`` for i>=2."""
+        if epsilon < 0:
+            raise ConfigurationError(f"epsilon must be non-negative, got {epsilon}")
+        c1 = self.c1
+        runners_up = [c for c in self.sorted_counts[1:]]
+        return all(c1 >= (1.0 + epsilon) * c for c in runners_up)
+
+    def is_consensus(self) -> bool:
+        """True iff a single colour holds every node."""
+        return self.c1 == self.n
+
+    # ------------------------------------------------------------------
+    # transformation helpers
+    # ------------------------------------------------------------------
+    def with_count(self, color: int, count: int) -> "ColorConfiguration":
+        """Return a copy with colour *color* set to *count* supporters."""
+        if not 0 <= color < self.k:
+            raise ConfigurationError(f"colour {color} out of range 0..{self.k - 1}")
+        new = list(self.counts)
+        new[color] = int(count)
+        return ColorConfiguration(new)
+
+    def normalized(self) -> "ColorConfiguration":
+        """Return a copy sorted in descending order of support."""
+        return ColorConfiguration(self.sorted_counts)
+
+    def __iter__(self):
+        return iter(self.counts)
+
+    def __len__(self) -> int:
+        return self.k
+
+    def __getitem__(self, color: int) -> int:
+        return self.counts[color]
+
+
+def counts_from_assignment(colors: Sequence[int], k: int = None) -> ColorConfiguration:
+    """Build a :class:`ColorConfiguration` from per-node colour labels.
+
+    Parameters
+    ----------
+    colors:
+        Length-``n`` array of colour ids in ``0..k-1``.
+    k:
+        Total number of colours.  Defaults to ``max(colors) + 1``.
+    """
+    arr = np.asarray(colors, dtype=np.int64)
+    if arr.size == 0:
+        raise ConfigurationError("cannot build a configuration from zero nodes")
+    if arr.min() < 0:
+        raise ConfigurationError("colour labels must be non-negative")
+    width = int(arr.max()) + 1 if k is None else int(k)
+    if width <= int(arr.max()):
+        raise ConfigurationError(f"k={width} too small for labels up to {int(arr.max())}")
+    return ColorConfiguration(np.bincount(arr, minlength=width).tolist())
+
+
+def assignment_from_counts(config: ColorConfiguration, rng: np.random.Generator = None, shuffle: bool = True) -> np.ndarray:
+    """Materialise a counts vector into a per-node colour array.
+
+    By default the assignment is shuffled (node identity carries no
+    information, matching the mean-field setting of the paper); pass
+    ``shuffle=False`` for a deterministic block layout.
+    """
+    parts = [np.full(c, j, dtype=np.int64) for j, c in enumerate(config.counts)]
+    colors = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+    if shuffle:
+        generator = rng if rng is not None else np.random.default_rng()
+        generator.shuffle(colors)
+    return colors

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid model or protocol configuration was supplied.
+
+    Raised for things like negative node counts, opinion vectors that do
+    not sum to ``n``, or schedule constants that produce empty phases.
+    """
+
+
+class ConvergenceError(ReproError):
+    """A run ended without reaching the requested convergence condition.
+
+    Carries the partial :class:`~repro.core.results.RunResult` (when
+    available) in :attr:`partial_result` so callers can inspect how far
+    the process got before the step budget ran out.
+    """
+
+    def __init__(self, message: str, partial_result=None):
+        super().__init__(message)
+        self.partial_result = partial_result
+
+
+class TopologyError(ReproError):
+    """A graph/topology operation was invalid (bad node id, empty graph...)."""
+
+
+class ProtocolError(ReproError):
+    """A protocol was driven outside its contract.
+
+    Examples: ticking a node after it terminated, requesting a round
+    update from an asynchronous-only protocol, or mixing engines and
+    protocols with incompatible state layouts.
+    """
+
+
+class ScheduleError(ConfigurationError):
+    """A phase schedule was constructed with inconsistent segments."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness failure (unknown id, bad sweep grid...)."""

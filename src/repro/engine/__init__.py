@@ -1,0 +1,32 @@
+"""Execution engines: synchronous, counts-exact, sequential, continuous."""
+
+from .base import (
+    StopCondition,
+    build_result,
+    consensus_reached,
+    near_consensus,
+    plurality_fraction_at_least,
+)
+from .continuous import ContinuousEngine
+from .counts import CountsEngine
+from .delays import DelayModel, ExponentialDelay, FixedDelay, NoDelay
+from .events import EventQueue
+from .sequential import SequentialEngine
+from .synchronous import SynchronousEngine
+
+__all__ = [
+    "StopCondition",
+    "build_result",
+    "consensus_reached",
+    "near_consensus",
+    "plurality_fraction_at_least",
+    "ContinuousEngine",
+    "CountsEngine",
+    "DelayModel",
+    "ExponentialDelay",
+    "FixedDelay",
+    "NoDelay",
+    "EventQueue",
+    "SequentialEngine",
+    "SynchronousEngine",
+]

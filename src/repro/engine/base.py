@@ -1,0 +1,91 @@
+"""Shared engine plumbing: stop conditions and run assembly.
+
+Engines advance a protocol until a *stop condition* holds or a step
+budget runs out.  The default condition is consensus (the event all the
+paper's run-time theorems are about); :func:`near_consensus` expresses
+the part-one goal of the asynchronous protocol (``c1 >= (1-eps) n``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..core.colors import ColorConfiguration
+from ..core.exceptions import ConfigurationError
+from ..core.results import RunResult, Trace
+
+__all__ = [
+    "StopCondition",
+    "consensus_reached",
+    "near_consensus",
+    "plurality_fraction_at_least",
+    "build_result",
+]
+
+#: A stop condition maps a colour-counts vector to "stop now?".
+StopCondition = Callable[[np.ndarray], bool]
+
+
+def consensus_reached(counts: np.ndarray) -> bool:
+    """Stop when one colour holds every node."""
+    return int(counts.max()) == int(counts.sum())
+
+
+def near_consensus(epsilon: float) -> StopCondition:
+    """Stop once the largest colour reaches ``(1 - epsilon) * n``.
+
+    This is the paper's part-one goal for the asynchronous protocol
+    (Section 3.1): grow ``c1`` to at least ``(1 - eps) n`` and hand over
+    to the endgame.
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+
+    def condition(counts: np.ndarray) -> bool:
+        return int(counts.max()) >= (1.0 - epsilon) * int(counts.sum())
+
+    return condition
+
+
+def plurality_fraction_at_least(fraction: float) -> StopCondition:
+    """Stop once the plurality colour's share reaches *fraction*."""
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigurationError(f"fraction must be in (0, 1], got {fraction}")
+
+    def condition(counts: np.ndarray) -> bool:
+        return int(counts.max()) >= fraction * int(counts.sum())
+
+    return condition
+
+
+def build_result(
+    converged: bool,
+    initial_counts: np.ndarray,
+    final_counts: np.ndarray,
+    rounds: int,
+    parallel_time: float,
+    trace: Optional[Trace] = None,
+    metadata: Optional[dict] = None,
+) -> RunResult:
+    """Assemble a :class:`RunResult`, deriving the winner from the counts.
+
+    ``winner`` is reported whenever the run stopped with a *unique*
+    plurality colour, even if the stop condition was weaker than full
+    consensus; callers that require strict consensus should check
+    ``result.final.is_consensus()``.
+    """
+    final = ColorConfiguration(np.asarray(final_counts, dtype=np.int64).tolist())
+    initial = ColorConfiguration(np.asarray(initial_counts, dtype=np.int64).tolist())
+    winner = final.plurality if converged and final.has_unique_plurality() else None
+    return RunResult(
+        converged=converged,
+        winner=winner,
+        rounds=int(rounds),
+        parallel_time=float(parallel_time),
+        initial=initial,
+        final=final,
+        trace=trace,
+        metadata=metadata or {},
+    )

@@ -1,0 +1,81 @@
+"""Response-delay models for the continuous-time engine.
+
+The paper's base model assumes that "once a node contacts another node,
+it receives that node's response without any delay"; the Discussion
+section proposes extending the model with exponentially distributed
+response delays of constant parameter.  These classes implement both,
+plus a deterministic delay useful in tests.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..core.exceptions import ConfigurationError
+
+__all__ = ["DelayModel", "NoDelay", "ExponentialDelay", "FixedDelay"]
+
+
+class DelayModel(ABC):
+    """Distribution of the response latency of a sampled node."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one response delay (in continuous-time units)."""
+
+    def is_zero(self) -> bool:
+        """True when responses are instantaneous (enables fast paths)."""
+        return False
+
+
+class NoDelay(DelayModel):
+    """The paper's base model: instantaneous responses."""
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return 0.0
+
+    def is_zero(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "NoDelay()"
+
+
+class ExponentialDelay(DelayModel):
+    """Exponential delays with constant rate (independent of ``n``).
+
+    This is exactly the Discussion-section extension: "response delays
+    following some exponential distribution with constant parameter
+    (which need not be 1, but must be independent of n)".
+    """
+
+    def __init__(self, rate: float = 1.0):
+        if rate <= 0:
+            raise ConfigurationError(f"delay rate must be positive, got {rate}")
+        self.rate = float(rate)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(1.0 / self.rate))
+
+    def __repr__(self) -> str:
+        return f"ExponentialDelay(rate={self.rate})"
+
+
+class FixedDelay(DelayModel):
+    """Deterministic delay — handy for deterministic unit tests."""
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise ConfigurationError(f"delay must be non-negative, got {delay}")
+        self.delay = float(delay)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.delay
+
+    def is_zero(self) -> bool:
+        return self.delay == 0.0
+
+    def __repr__(self) -> str:
+        return f"FixedDelay(delay={self.delay})"

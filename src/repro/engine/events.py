@@ -1,0 +1,42 @@
+"""A tiny stable event queue for the continuous-time engine.
+
+Wraps :mod:`heapq` with a monotone sequence number so that events with
+equal timestamps pop in insertion order (stability matters for
+reproducibility across platforms) and payloads never participate in
+comparisons.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Optional, Tuple
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Min-heap of ``(time, payload)`` events with stable ordering."""
+
+    def __init__(self):
+        self._heap = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, payload: Any) -> None:
+        """Schedule *payload* at *time* (must be finite and >= 0)."""
+        heapq.heappush(self._heap, (float(time), next(self._counter), payload))
+
+    def pop(self) -> Tuple[float, Any]:
+        """Remove and return the earliest ``(time, payload)`` pair."""
+        time, _seq, payload = heapq.heappop(self._heap)
+        return time, payload
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the earliest event, or ``None`` if empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

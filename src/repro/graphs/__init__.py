@@ -1,0 +1,22 @@
+"""Topologies: the complete graph of the paper plus sparse companions."""
+
+from .complete import CompleteGraph
+from .families import barabasi_albert, hypercube, random_regular, star, watts_strogatz
+from .nx_adapter import from_networkx
+from .sparse import AdjacencyTopology, erdos_renyi, ring, torus
+from .topology import Topology
+
+__all__ = [
+    "Topology",
+    "CompleteGraph",
+    "AdjacencyTopology",
+    "ring",
+    "torus",
+    "erdos_renyi",
+    "barabasi_albert",
+    "hypercube",
+    "random_regular",
+    "star",
+    "watts_strogatz",
+    "from_networkx",
+]

@@ -1,0 +1,56 @@
+"""The complete graph ``K_n`` with O(1)-memory uniform sampling.
+
+This is the topology every theorem in the paper is stated for.  A
+neighbour of ``u`` is a uniform node different from ``u``; we sample by
+drawing from ``0..n-2`` and shifting values ``>= u`` up by one, which is
+exactly uniform over the ``n-1`` neighbours and vectorises cleanly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.exceptions import TopologyError
+from .topology import Topology
+
+__all__ = ["CompleteGraph"]
+
+
+class CompleteGraph(Topology):
+    """``K_n``: every pair of distinct nodes is connected."""
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise TopologyError(f"K_n needs at least 2 nodes, got {n}")
+        self.n = int(n)
+
+    def degree(self, node: int) -> int:
+        self._check_node(node)
+        return self.n - 1
+
+    def sample_neighbor(self, node: int, rng: np.random.Generator) -> int:
+        self._check_node(node)
+        draw = int(rng.integers(0, self.n - 1))
+        return draw + 1 if draw >= node else draw
+
+    def sample_neighbors(self, node: int, count: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_node(node)
+        draws = rng.integers(0, self.n - 1, size=count)
+        return np.where(draws >= node, draws + 1, draws).astype(np.int64)
+
+    def sample_neighbors_many(self, nodes: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        nodes = np.asarray(nodes, dtype=np.int64)
+        draws = rng.integers(0, self.n - 1, size=nodes.shape)
+        return np.where(draws >= nodes, draws + 1, draws).astype(np.int64)
+
+    def sample_neighbor_pairs(self, nodes: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        nodes = np.asarray(nodes, dtype=np.int64)
+        draws = rng.integers(0, self.n - 1, size=(nodes.size, 2))
+        shifted = np.where(draws >= nodes[:, None], draws + 1, draws)
+        return shifted.astype(np.int64)
+
+    def is_complete(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"CompleteGraph(n={self.n})"

@@ -1,0 +1,178 @@
+"""Additional graph families for exploring the protocols off ``K_n``.
+
+The paper's theorems are for the complete graph; these families let the
+agent-based engines probe how the dynamics degrade on sparse and
+irregular communication topologies (one of the example applications
+does exactly that).  All constructors are self-contained — no networkx
+required — and return :class:`~repro.graphs.sparse.AdjacencyTopology`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+import numpy as np
+
+from ..core.exceptions import TopologyError
+from ..core.rng import SeedLike, as_generator
+from .sparse import AdjacencyTopology
+
+__all__ = ["hypercube", "star", "random_regular", "watts_strogatz", "barabasi_albert"]
+
+
+def hypercube(dimension: int) -> AdjacencyTopology:
+    """The ``d``-dimensional hypercube on ``2^d`` nodes."""
+    if dimension < 1:
+        raise TopologyError(f"dimension must be >= 1, got {dimension}")
+    if dimension > 24:
+        raise TopologyError(f"dimension {dimension} would allocate 2^{dimension} nodes")
+    n = 1 << dimension
+    adjacency = [[node ^ (1 << bit) for bit in range(dimension)] for node in range(n)]
+    return AdjacencyTopology(adjacency)
+
+
+def star(n: int) -> AdjacencyTopology:
+    """Star graph: node 0 is the hub, nodes 1..n-1 are leaves."""
+    if n < 3:
+        raise TopologyError(f"a star needs at least 3 nodes, got {n}")
+    adjacency: List[List[int]] = [list(range(1, n))]
+    adjacency.extend([0] for _ in range(1, n))
+    return AdjacencyTopology(adjacency)
+
+
+def random_regular(n: int, degree: int, seed: SeedLike = None, max_attempts: int = 20) -> AdjacencyTopology:
+    """A uniform-ish random ``degree``-regular simple graph.
+
+    Configuration model with **edge-switch repair**: stubs are paired
+    uniformly, then every self-loop or duplicate edge is resolved by
+    swapping endpoints with a uniformly random other pair (the standard
+    repair used in practice; distributionally close to uniform for
+    ``degree = O(sqrt n)`` and always yields a simple regular graph).
+    """
+    if degree < 1 or degree >= n:
+        raise TopologyError(f"degree must be in 1..{n - 1}, got {degree}")
+    if (n * degree) % 2 != 0:
+        raise TopologyError(f"n * degree must be even (n={n}, degree={degree})")
+    rng = as_generator(seed)
+    for _ in range(max_attempts):
+        stubs = np.repeat(np.arange(n), degree)
+        rng.shuffle(stubs)
+        pairs = [(int(a), int(b)) for a, b in stubs.reshape(-1, 2)]
+        if _repair_pairing(pairs, rng):
+            adjacency: List[List[int]] = [[] for _ in range(n)]
+            for a, b in pairs:
+                adjacency[a].append(b)
+                adjacency[b].append(a)
+            return AdjacencyTopology(adjacency)
+    raise TopologyError(
+        f"failed to pair a simple {degree}-regular graph on {n} nodes in {max_attempts} attempts"
+    )
+
+
+def _edge_key(a: int, b: int) -> tuple:
+    return (a, b) if a <= b else (b, a)
+
+
+def _repair_pairing(pairs: List[tuple], rng: np.random.Generator, max_switches: int = None) -> bool:
+    """Resolve self-loops/duplicates in-place via random edge switches."""
+    if max_switches is None:
+        max_switches = 200 * len(pairs) + 1000
+    edge_count = {}
+    for a, b in pairs:
+        edge_count[_edge_key(a, b)] = edge_count.get(_edge_key(a, b), 0) + 1
+    bad = [i for i, (a, b) in enumerate(pairs) if a == b or edge_count[_edge_key(a, b)] > 1]
+    switches = 0
+    while bad and switches < max_switches:
+        switches += 1
+        i = bad[-1]
+        a, b = pairs[i]
+        j = int(rng.integers(0, len(pairs)))
+        if j == i:
+            continue
+        c, d = pairs[j]
+        # Propose the cross-swap (a, c), (b, d).
+        if a == c or b == d:
+            continue
+        new_one, new_two = _edge_key(a, c), _edge_key(b, d)
+        if edge_count.get(new_one, 0) or edge_count.get(new_two, 0):
+            continue
+        for key in (_edge_key(a, b), _edge_key(c, d)):
+            edge_count[key] -= 1
+            if edge_count[key] == 0:
+                del edge_count[key]
+        pairs[i] = (a, c)
+        pairs[j] = (b, d)
+        edge_count[new_one] = 1
+        edge_count[new_two] = 1
+        bad = [k for k, (x, y) in enumerate(pairs) if x == y or edge_count[_edge_key(x, y)] > 1]
+    return not bad
+
+
+def watts_strogatz(n: int, neighbors: int, rewire_probability: float, seed: SeedLike = None) -> AdjacencyTopology:
+    """Small-world graph: a ring lattice with random rewiring.
+
+    Each node starts connected to its ``neighbors`` nearest ring
+    neighbours on each side; every clockwise edge is rewired to a
+    uniform non-duplicate target with probability *rewire_probability*.
+    """
+    if neighbors < 1 or 2 * neighbors >= n:
+        raise TopologyError(f"need 1 <= neighbors < n/2, got {neighbors} for n={n}")
+    if not 0.0 <= rewire_probability <= 1.0:
+        raise TopologyError(f"rewire probability must be in [0, 1], got {rewire_probability}")
+    rng = as_generator(seed)
+    edges: Set[tuple] = set()
+    for u in range(n):
+        for offset in range(1, neighbors + 1):
+            v = (u + offset) % n
+            edges.add((min(u, v), max(u, v)))
+    rewired: Set[tuple] = set()
+    for edge in sorted(edges):
+        u, v = edge
+        if rng.random() < rewire_probability:
+            for _ in range(20):
+                w = int(rng.integers(0, n))
+                candidate = (min(u, w), max(u, w))
+                if w != u and candidate not in rewired and candidate not in edges:
+                    edge = candidate
+                    break
+        rewired.add(edge)
+    adjacency: List[List[int]] = [[] for _ in range(n)]
+    for u, v in rewired:
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+    # Rewiring can isolate a node in pathological cases; patch it back
+    # onto the ring so the sampling contract (degree >= 1) holds.
+    for u in range(n):
+        if not adjacency[u]:
+            v = (u + 1) % n
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+    return AdjacencyTopology(adjacency)
+
+
+def barabasi_albert(n: int, attachments: int, seed: SeedLike = None) -> AdjacencyTopology:
+    """Preferential attachment: each new node links to ``attachments``
+    existing nodes chosen proportionally to their current degree."""
+    if attachments < 1:
+        raise TopologyError(f"attachments must be >= 1, got {attachments}")
+    if n <= attachments:
+        raise TopologyError(f"need n > attachments, got n={n}, attachments={attachments}")
+    rng = as_generator(seed)
+    adjacency: List[List[int]] = [[] for _ in range(n)]
+    # Seed clique over the first `attachments + 1` nodes.
+    seed_size = attachments + 1
+    repeated: List[int] = []  # node id repeated once per incident edge
+    for u in range(seed_size):
+        for v in range(u + 1, seed_size):
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+            repeated.extend((u, v))
+    for u in range(seed_size, n):
+        targets: Set[int] = set()
+        while len(targets) < attachments:
+            targets.add(int(repeated[rng.integers(0, len(repeated))]))
+        for v in targets:
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+            repeated.extend((u, v))
+    return AdjacencyTopology(adjacency)

@@ -1,0 +1,34 @@
+"""Adapter from :mod:`networkx` graphs to the :class:`Topology` API.
+
+networkx is an optional dependency; importing this module without it
+raises a clear error only when the adapter is actually used.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.exceptions import TopologyError
+from .sparse import AdjacencyTopology
+
+__all__ = ["from_networkx"]
+
+
+def from_networkx(graph) -> AdjacencyTopology:
+    """Build an :class:`AdjacencyTopology` from an undirected nx graph.
+
+    Node labels may be arbitrary hashables; they are relabelled to
+    ``0..n-1`` in sorted-by-insertion order.  Directed graphs and graphs
+    with isolated nodes are rejected.
+    """
+    try:
+        import networkx as nx
+    except ImportError as exc:  # pragma: no cover - depends on environment
+        raise TopologyError("networkx is not installed; `pip install repro[graphs]`") from exc
+
+    if graph.is_directed():
+        raise TopologyError("only undirected graphs are supported")
+    nodes = list(graph.nodes())
+    index = {label: i for i, label in enumerate(nodes)}
+    adjacency = [[index[v] for v in graph.neighbors(u)] for u in nodes]
+    return AdjacencyTopology(adjacency)

@@ -1,0 +1,128 @@
+"""Sparse topologies stored in CSR (compressed adjacency) form.
+
+The paper's results are for ``K_n``; these topologies exist so the same
+protocol code can be explored on sparse communication graphs (one of
+the example applications runs Two-Choices on a torus).  Construction
+helpers build rings, 2-D tori and Erdős–Rényi graphs directly without
+requiring networkx.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.exceptions import TopologyError
+from ..core.rng import SeedLike, as_generator
+from .topology import Topology
+
+__all__ = ["AdjacencyTopology", "ring", "torus", "erdos_renyi"]
+
+
+class AdjacencyTopology(Topology):
+    """A general undirected graph with uniform neighbour sampling.
+
+    Parameters
+    ----------
+    neighbors:
+        For each node, the sequence of its neighbours.  Every node must
+        have degree >= 1 (isolated nodes cannot participate in sampling
+        protocols and are rejected).
+    """
+
+    def __init__(self, neighbors: Sequence[Sequence[int]]):
+        n = len(neighbors)
+        if n < 2:
+            raise TopologyError(f"need at least 2 nodes, got {n}")
+        degrees = np.array([len(adj) for adj in neighbors], dtype=np.int64)
+        if (degrees == 0).any():
+            bad = int(np.argmax(degrees == 0))
+            raise TopologyError(f"node {bad} is isolated; sampling protocols need degree >= 1")
+        self.n = n
+        self._offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=self._offsets[1:])
+        flat = np.empty(int(self._offsets[-1]), dtype=np.int64)
+        for u, adj in enumerate(neighbors):
+            row = np.asarray(list(adj), dtype=np.int64)
+            if row.size and (row.min() < 0 or row.max() >= n):
+                raise TopologyError(f"node {u} has a neighbour outside 0..{n - 1}")
+            flat[self._offsets[u]:self._offsets[u + 1]] = row
+        self._flat = flat
+        self._degrees = degrees
+
+    def degree(self, node: int) -> int:
+        self._check_node(node)
+        return int(self._degrees[node])
+
+    def neighbors_of(self, node: int) -> np.ndarray:
+        """The adjacency row of *node* (read-only view)."""
+        self._check_node(node)
+        return self._flat[self._offsets[node]:self._offsets[node + 1]]
+
+    def sample_neighbor(self, node: int, rng: np.random.Generator) -> int:
+        self._check_node(node)
+        deg = self._degrees[node]
+        return int(self._flat[self._offsets[node] + rng.integers(0, deg)])
+
+    def sample_neighbors(self, node: int, count: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_node(node)
+        deg = self._degrees[node]
+        picks = rng.integers(0, deg, size=count)
+        return self._flat[self._offsets[node] + picks]
+
+    def sample_neighbors_many(self, nodes: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        nodes = np.asarray(nodes, dtype=np.int64)
+        degs = self._degrees[nodes]
+        picks = (rng.random(nodes.shape) * degs).astype(np.int64)
+        return self._flat[self._offsets[nodes] + picks]
+
+
+def ring(n: int) -> AdjacencyTopology:
+    """Cycle graph ``C_n`` (each node linked to its two cyclic neighbours)."""
+    if n < 3:
+        raise TopologyError(f"a ring needs at least 3 nodes, got {n}")
+    return AdjacencyTopology([[(u - 1) % n, (u + 1) % n] for u in range(n)])
+
+
+def torus(rows: int, cols: int) -> AdjacencyTopology:
+    """2-D torus grid of ``rows x cols`` nodes with 4-neighbourhoods."""
+    if rows < 3 or cols < 3:
+        raise TopologyError(f"torus sides must be >= 3, got {rows}x{cols}")
+
+    def node(r: int, c: int) -> int:
+        return (r % rows) * cols + (c % cols)
+
+    adjacency: List[List[int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            adjacency.append([node(r - 1, c), node(r + 1, c), node(r, c - 1), node(r, c + 1)])
+    return AdjacencyTopology(adjacency)
+
+
+def erdos_renyi(n: int, p: float, seed: SeedLike = None, ensure_min_degree: int = 1) -> AdjacencyTopology:
+    """Erdős–Rényi graph ``G(n, p)``.
+
+    Because sampling protocols require degree >= 1, nodes that end up
+    isolated are patched with ``ensure_min_degree`` random edges (set it
+    to 0 to get a hard failure instead).
+    """
+    if not 0.0 <= p <= 1.0:
+        raise TopologyError(f"edge probability must be in [0, 1], got {p}")
+    rng = as_generator(seed)
+    adjacency: List[List[int]] = [[] for _ in range(n)]
+    # Vectorised upper-triangle edge draws, processed in row blocks to
+    # bound memory at O(n) per block.
+    for u in range(n - 1):
+        targets = np.arange(u + 1, n)
+        hits = targets[rng.random(targets.size) < p]
+        for v in hits:
+            adjacency[u].append(int(v))
+            adjacency[int(v)].append(u)
+    for u in range(n):
+        while len(adjacency[u]) < ensure_min_degree:
+            v = int(rng.integers(0, n))
+            if v != u and v not in adjacency[u]:
+                adjacency[u].append(v)
+                adjacency[v].append(u)
+    return AdjacencyTopology(adjacency)

@@ -1,0 +1,75 @@
+"""Topology abstraction.
+
+The protocols in the paper live on the complete graph ``K_n`` and only
+ever *sample neighbours uniformly at random* — they never enumerate
+edges.  The :class:`Topology` interface therefore exposes exactly that
+operation (scalar and vectorised), which lets the complete graph be
+represented in O(1) memory and lets the same protocol code run on
+sparse graphs for exploratory use.
+
+All sampling is **with replacement** and, on ``K_n``, matches the
+paper's model where a node may sample itself is *excluded*: the paper
+says "samples some neighbors", and on a clique the neighbours of ``u``
+are everyone but ``u``.  ``CompleteGraph`` therefore excludes self-
+samples; sparse topologies sample uniformly from the adjacency list.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from ..core.exceptions import TopologyError
+
+__all__ = ["Topology"]
+
+
+class Topology(ABC):
+    """Uniform neighbour sampling over a fixed node set ``0..n-1``."""
+
+    #: number of nodes; concrete classes must set this in ``__init__``.
+    n: int
+
+    # ------------------------------------------------------------------
+    # required interface
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def sample_neighbor(self, node: int, rng: np.random.Generator) -> int:
+        """Return one uniformly random neighbour of *node*."""
+
+    @abstractmethod
+    def sample_neighbors(self, node: int, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Return *count* i.i.d. uniform neighbours of *node* (with replacement)."""
+
+    @abstractmethod
+    def degree(self, node: int) -> int:
+        """Number of neighbours of *node*."""
+
+    # ------------------------------------------------------------------
+    # vectorised interface (default: loop; complete graph overrides)
+    # ------------------------------------------------------------------
+    def sample_neighbors_many(self, nodes: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """One uniform neighbour for each entry of *nodes* (vectorised hook)."""
+        return np.array([self.sample_neighbor(int(u), rng) for u in nodes], dtype=np.int64)
+
+    def sample_neighbor_pairs(self, nodes: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Two i.i.d. uniform neighbours for each entry of *nodes*, shape ``(len, 2)``."""
+        first = self.sample_neighbors_many(nodes, rng)
+        second = self.sample_neighbors_many(nodes, rng)
+        return np.stack([first, second], axis=1)
+
+    # ------------------------------------------------------------------
+    # shared validation helpers
+    # ------------------------------------------------------------------
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.n:
+            raise TopologyError(f"node {node} out of range 0..{self.n - 1}")
+
+    def is_complete(self) -> bool:
+        """True for ``K_n``; the counts-based engines require this."""
+        return False
+
+    def __len__(self) -> int:
+        return self.n

@@ -1,0 +1,92 @@
+"""Protocols: the paper's algorithms plus standard baselines.
+
+* Two-Choices (Theorem 1.1) — sync / counts-exact / sequential.
+* OneExtraBit (Theorem 1.2) — sync agent-based and counts-exact.
+* AsyncPluralityConsensus (Theorem 1.3) — the main contribution, with
+  its PhaseSchedule and Sync Gadget, plus a tick-interface variant for
+  the generic engines.
+* Baselines: Voter, 3-Majority, Undecided-State Dynamics.
+"""
+
+from .async_plurality import AsyncPluralityConsensus, AsyncPluralityProtocol, ClockSkew
+from .base import CountsProtocol, SequentialProtocol, SynchronousProtocol
+from .endgame import near_consensus_start, run_endgame
+from .lossy import LossyProtocol
+from .one_extra_bit import (
+    OneExtraBitCounts,
+    OneExtraBitCountsState,
+    OneExtraBitState,
+    OneExtraBitSynchronous,
+    default_bp_rounds,
+)
+from .rumor import RumorState, spread_rumor_agents, spread_rumor_counts
+from .schedule import (
+    ACTION_BP,
+    ACTION_NAMES,
+    ACTION_NOP,
+    ACTION_SYNC_JUMP,
+    ACTION_SYNC_SAMPLE,
+    ACTION_TC_COMMIT,
+    ACTION_TC_SAMPLE,
+    PhaseSchedule,
+    default_delta,
+    default_phase_count,
+    default_sync_samples,
+)
+from .sync_gadget import SyncSampleBuffer, jump_target, median_of_samples
+from .three_majority import ThreeMajorityCounts, ThreeMajoritySequential, ThreeMajoritySynchronous
+from .two_choices import TwoChoicesCounts, TwoChoicesSequential, TwoChoicesSynchronous
+from .two_choices_fast import two_choices_sequential_fast
+from .undecided_state import (
+    UndecidedStateCounts,
+    UndecidedStateSequential,
+    UndecidedStateSynchronous,
+)
+from .voter import VoterCounts, VoterSequential, VoterSynchronous
+
+__all__ = [
+    "AsyncPluralityConsensus",
+    "ClockSkew",
+    "AsyncPluralityProtocol",
+    "CountsProtocol",
+    "SequentialProtocol",
+    "SynchronousProtocol",
+    "near_consensus_start",
+    "run_endgame",
+    "LossyProtocol",
+    "OneExtraBitCounts",
+    "OneExtraBitCountsState",
+    "OneExtraBitState",
+    "OneExtraBitSynchronous",
+    "default_bp_rounds",
+    "ACTION_BP",
+    "ACTION_NAMES",
+    "ACTION_NOP",
+    "ACTION_SYNC_JUMP",
+    "ACTION_SYNC_SAMPLE",
+    "ACTION_TC_COMMIT",
+    "ACTION_TC_SAMPLE",
+    "PhaseSchedule",
+    "RumorState",
+    "spread_rumor_agents",
+    "spread_rumor_counts",
+    "default_delta",
+    "default_phase_count",
+    "default_sync_samples",
+    "SyncSampleBuffer",
+    "jump_target",
+    "median_of_samples",
+    "ThreeMajorityCounts",
+    "ThreeMajoritySequential",
+    "ThreeMajoritySynchronous",
+    "TwoChoicesCounts",
+    "TwoChoicesSequential",
+    "TwoChoicesSynchronous",
+    "two_choices_sequential_fast",
+    "UndecidedStateCounts",
+    "UndecidedStateSequential",
+    "UndecidedStateSynchronous",
+    "VoterCounts",
+    "VoterSequential",
+    "VoterSynchronous",
+]

@@ -1,0 +1,583 @@
+"""The asynchronous plurality-consensus protocol (Theorem 1.3).
+
+This is the paper's main contribution: an adaptation of OneExtraBit to
+the asynchronous (sequential / Poisson-clock) model that converges in
+the optimal ``Theta(log n)`` parallel time for
+``k = O(exp(log n / log log n))`` opinions and multiplicative bias
+``c1 >= (1 + eps) ci``.
+
+Structure (Section 3.1):
+
+* **Part one** — ``Theta(log log n)`` phases, each made of a
+  Two-Choices sub-phase (sample step + commit step separated by
+  do-nothing blocks), a Bit-Propagation sub-phase, and a Sync-Gadget
+  sub-phase (see :mod:`repro.protocols.sync_gadget`).  Nodes act
+  according to their *working time*; the Sync Gadget perpetually pulls
+  working times together so that all but ``o(n)`` nodes stay within
+  ``Delta`` of one another.  Part one drives the plurality colour to
+  ``c1 >= (1 - eps) n``.
+* **Part two (endgame)** — plain asynchronous Two-Choices for
+  ``Theta(log n)`` further ticks, after which a node freezes its
+  colour.  Theorem-wise, all nodes hold ``C1`` before the first node
+  terminates, w.h.p. (Section 3.2) — the run records both event times
+  so experiment T9 can check exactly that.
+
+Two realisations:
+
+:class:`AsyncPluralityConsensus`
+    A self-contained optimised runner for the sequential model (Python
+    scalar hot loop over list state, batched RNG).  This is what the
+    benchmarks drive; ``n = 10^4`` runs take seconds.
+:class:`AsyncPluralityProtocol`
+    The same per-tick semantics behind the generic
+    :class:`~repro.protocols.base.SequentialProtocol` interface, so the
+    protocol also runs on the generic sequential engine and on the
+    continuous-time engine *with response delays* (experiment T12).
+    A distribution-level agreement test between the two realisations
+    lives in ``tests/test_async_cross_validation.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..core.colors import ColorConfiguration, assignment_from_counts
+from ..core.exceptions import ConfigurationError, ProtocolError
+from ..core.results import RunResult, Trace
+from ..core.rng import SeedLike, as_generator
+from ..core.state import NO_COLOR, AsyncNodeState
+from ..engine.base import build_result
+from ..graphs.topology import Topology
+from .base import SequentialProtocol
+from .schedule import (
+    ACTION_BP,
+    ACTION_NOP,
+    ACTION_SYNC_JUMP,
+    ACTION_SYNC_SAMPLE,
+    ACTION_TC_COMMIT,
+    ACTION_TC_SAMPLE,
+    PhaseSchedule,
+)
+from .sync_gadget import SyncSampleBuffer, jump_target
+
+__all__ = ["ClockSkew", "AsyncPluralityConsensus", "AsyncPluralityProtocol"]
+
+
+@dataclass(frozen=True)
+class ClockSkew:
+    """Heterogeneous Poisson clock rates (robustness extension).
+
+    The paper's weak-synchronicity notion explicitly tolerates ``o(n)``
+    poorly synchronised nodes; this knob creates them deliberately: a
+    ``fraction`` of nodes tick at ``rate`` (relative to the unit rate
+    of the rest), so e.g. ``ClockSkew(0.05, 0.5)`` makes 5% of the
+    population run at half speed.  Ablation experiment A1 sweeps this.
+
+    Asymmetry worth knowing: *slow* clocks are absorbed — the Sync
+    Gadget and the tick-budgeted endgame simply make everyone wait —
+    but a *fast* minority beyond ~1.5x can race through the endgame and
+    freeze its colour before global consensus, because termination is
+    counted in own ticks (the paper's model has unit rates, so this
+    regime is outside its guarantees; see
+    ``tests/test_clock_skew.py::test_very_fast_minority_can_terminate_prematurely``).
+    """
+
+    fraction: float = 0.0
+    rate: float = 1.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.fraction < 1.0:
+            raise ConfigurationError(f"fraction must be in [0, 1), got {self.fraction}")
+        if self.rate <= 0.0:
+            raise ConfigurationError(f"rate must be positive, got {self.rate}")
+
+    @property
+    def is_uniform(self) -> bool:
+        return self.fraction == 0.0 or self.rate == 1.0
+
+    def total_rate(self, n: int) -> float:
+        """Aggregate tick rate of the population (unit-rate nodes = 1)."""
+        slow = int(round(self.fraction * n))
+        return slow * self.rate + (n - slow)
+
+
+@dataclass(frozen=True)
+class _ScheduleParams:
+    """Constructor-time schedule knobs, resolved per ``n`` at run time."""
+
+    delta_factor: float = 1.0
+    phases: Optional[int] = None
+    phase_factor: float = 3.0
+    phase_offset: int = 2
+    bp_blocks: int = 2
+    min_sync_blocks: int = 2
+    sync_samples: Optional[int] = None
+    endgame_factor: float = 14.0
+    sync_enabled: bool = True
+
+    def compile(self, n: int) -> PhaseSchedule:
+        return PhaseSchedule.compile(
+            n,
+            delta_factor=self.delta_factor,
+            phases=self.phases,
+            phase_factor=self.phase_factor,
+            phase_offset=self.phase_offset,
+            bp_blocks=self.bp_blocks,
+            min_sync_blocks=self.min_sync_blocks,
+            sync_samples=self.sync_samples,
+            endgame_factor=self.endgame_factor,
+            sync_enabled=self.sync_enabled,
+        )
+
+
+class AsyncPluralityConsensus:
+    """Optimised sequential-model runner for the phased protocol.
+
+    All keyword arguments parameterise the
+    :class:`~repro.protocols.schedule.PhaseSchedule` (see DESIGN.md §4);
+    ``sync_enabled=False`` disables the Sync Gadget for the T7 ablation.
+    """
+
+    def __init__(
+        self,
+        delta_factor: float = 1.0,
+        phases: Optional[int] = None,
+        phase_factor: float = 3.0,
+        phase_offset: int = 2,
+        bp_blocks: int = 2,
+        min_sync_blocks: int = 2,
+        sync_samples: Optional[int] = None,
+        endgame_factor: float = 14.0,
+        sync_enabled: bool = True,
+    ):
+        self.params = _ScheduleParams(
+            delta_factor=delta_factor,
+            phases=phases,
+            phase_factor=phase_factor,
+            phase_offset=phase_offset,
+            bp_blocks=bp_blocks,
+            min_sync_blocks=min_sync_blocks,
+            sync_samples=sync_samples,
+            endgame_factor=endgame_factor,
+            sync_enabled=sync_enabled,
+        )
+
+    def schedule_for(self, n: int) -> PhaseSchedule:
+        """The compiled working-time schedule used for *n* nodes."""
+        return self.params.compile(n)
+
+    # ------------------------------------------------------------------
+    # the run loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        initial: Union[ColorConfiguration, np.ndarray],
+        seed: SeedLike = None,
+        max_parallel_time: Optional[float] = None,
+        stop_at_consensus: bool = True,
+        record_spread: bool = True,
+        spread_every_parallel: float = 1.0,
+        record_trace: bool = False,
+        trace_every_parallel: float = 1.0,
+        skew: Optional[ClockSkew] = None,
+    ) -> RunResult:
+        """Execute the full protocol (part one + endgame).
+
+        Parameters
+        ----------
+        initial:
+            Counts vector or per-node colour array.
+        max_parallel_time:
+            Hard time budget; the default covers the whole schedule for
+            every node with generous slack.
+        stop_at_consensus:
+            Return as soon as consensus is observed (checked once per
+            parallel time unit).  Set ``False`` to run until every node
+            terminates — required when measuring the Section 3.2 claim
+            that consensus precedes the first termination.
+        record_spread:
+            Record working-time spread and the fraction of poorly
+            synchronised nodes (``|wt - median| > Delta``) once per
+            ``spread_every_parallel`` time units into
+            ``metadata["spread_trace"]``.
+        skew:
+            Optional :class:`ClockSkew` making a fraction of nodes tick
+            at a non-unit rate (robustness extension; ablation A1).
+            Parallel time is then measured against the aggregate rate.
+        """
+        rng = as_generator(seed)
+        colors_arr, k = _materialize(initial, rng)
+        n = colors_arr.size
+        if n < 2:
+            raise ConfigurationError("the protocol needs at least 2 nodes")
+        schedule = self.schedule_for(n)
+        part_one = schedule.part_one_length
+        total_wt = schedule.total_length
+        phase_len = schedule.phase_length
+        actions = schedule.actions.tolist()
+        sync_starts = schedule.sync_starts
+        delta = schedule.delta
+
+        skew = skew if skew is not None else ClockSkew()
+        # With heterogeneous clocks, global ticks arrive at the aggregate
+        # rate; `tick_rate` converts tick counts to parallel time.
+        tick_rate = skew.total_rate(n)
+        slow_count = int(round(skew.fraction * n))
+        if max_parallel_time is None:
+            # Every node needs `total_wt` own ticks; all clocks reach T
+            # ticks within T + O(log n) parallel time w.h.p.  Slow nodes
+            # need proportionally longer.
+            slack = 1.0 / min(skew.rate, 1.0) if slow_count else 1.0
+            max_parallel_time = (1.5 * total_wt + 20.0 * max(math.log(n), 1.0)) * slack
+        max_ticks = int(max_parallel_time * tick_rate)
+
+        # Hot-loop state lives in plain Python lists: scalar list access
+        # is several times faster than numpy scalar indexing.
+        colors: List[int] = colors_arr.tolist()
+        counts: List[int] = np.bincount(colors_arr, minlength=k).tolist()
+        initial_counts = list(counts)
+        wt: List[int] = [0] * n
+        rt: List[int] = [0] * n
+        bit: List[bool] = [False] * n
+        inter: List[int] = [NO_COLOR] * n
+        terminated: List[bool] = [False] * n
+        buffers = [SyncSampleBuffer() for _ in range(n)]
+
+        trace = Trace() if record_trace else None
+        if trace is not None:
+            trace.record(0.0, counts)
+        trace_stride = max(1, int(trace_every_parallel * tick_rate))
+        next_trace_tick = trace_stride
+        spread_trace: List[Dict] = []
+        spread_stride = max(1, int(spread_every_parallel * tick_rate))
+        next_spread_tick = spread_stride
+
+        ticks = 0
+        alive = n
+        first_consensus_tick: Optional[int] = None
+        first_termination_tick: Optional[int] = None
+        # Check consensus 4x per parallel time unit: the O(k) count scan
+        # is cheap and a coarser cadence would systematically date the
+        # "first consensus" event later than the (exactly known) first
+        # termination when comparing the two (Section 3.2).
+        check_stride = max(1, int(tick_rate) // 4)
+        batch = 8192
+        # Neighbour-draw buffer: draws in [0, n-2], shifted around self.
+        nbr = rng.integers(0, n - 1, size=4 * batch).tolist()
+        nbr_ptr = 0
+        nbr_len = len(nbr)
+
+        if slow_count and not skew.is_uniform:
+            # Two-tier selection: a tick belongs to the slow group with
+            # probability (slow mass) / (total mass), then uniform within
+            # the group — equal in law to per-node Poisson racing.
+            slow_ids = rng.choice(n, size=slow_count, replace=False)
+            fast_ids = np.setdiff1d(np.arange(n), slow_ids)
+            p_slow = slow_count * skew.rate / tick_rate
+        else:
+            slow_ids = fast_ids = None
+            p_slow = 0.0
+
+        stop = False
+        while not stop and alive > 0 and ticks < max_ticks:
+            if slow_ids is None:
+                picks = rng.integers(0, n, size=batch).tolist()
+            else:
+                in_slow = rng.random(batch) < p_slow
+                slow_picks = slow_ids[rng.integers(0, slow_ids.size, size=batch)]
+                fast_picks = fast_ids[rng.integers(0, fast_ids.size, size=batch)]
+                picks = np.where(in_slow, slow_picks, fast_picks).tolist()
+            for u in picks:
+                ticks += 1
+                if not terminated[u]:
+                    if nbr_ptr + 2 > nbr_len:
+                        nbr = rng.integers(0, n - 1, size=4 * batch).tolist()
+                        nbr_ptr = 0
+                    w = wt[u]
+                    if w < part_one:
+                        a = actions[w]
+                        if a == ACTION_NOP:
+                            wt[u] = w + 1
+                            rt[u] += 1
+                        elif a == ACTION_BP:
+                            if not bit[u]:
+                                r = nbr[nbr_ptr]
+                                nbr_ptr += 1
+                                v = r + 1 if r >= u else r
+                                if bit[v]:
+                                    c = colors[v]
+                                    old = colors[u]
+                                    if c != old:
+                                        counts[old] -= 1
+                                        counts[c] += 1
+                                        colors[u] = c
+                                    bit[u] = True
+                            wt[u] = w + 1
+                            rt[u] += 1
+                        elif a == ACTION_TC_SAMPLE:
+                            r = nbr[nbr_ptr]
+                            v1 = r + 1 if r >= u else r
+                            r = nbr[nbr_ptr + 1]
+                            v2 = r + 1 if r >= u else r
+                            nbr_ptr += 2
+                            c1 = colors[v1]
+                            inter[u] = c1 if c1 == colors[v2] else NO_COLOR
+                            wt[u] = w + 1
+                            rt[u] += 1
+                        elif a == ACTION_TC_COMMIT:
+                            ic = inter[u]
+                            if ic >= 0:
+                                old = colors[u]
+                                if ic != old:
+                                    counts[old] -= 1
+                                    counts[ic] += 1
+                                    colors[u] = ic
+                                bit[u] = True
+                            else:
+                                bit[u] = False
+                            inter[u] = NO_COLOR
+                            wt[u] = w + 1
+                            rt[u] += 1
+                        elif a == ACTION_SYNC_SAMPLE:
+                            r = nbr[nbr_ptr]
+                            nbr_ptr += 1
+                            v = r + 1 if r >= u else r
+                            buffers[u].collect(w // phase_len, rt[v], rt[u])
+                            wt[u] = w + 1
+                            rt[u] += 1
+                        else:  # ACTION_SYNC_JUMP
+                            phase = w // phase_len
+                            target = jump_target(buffers[u], phase, rt[u], sync_starts[phase])
+                            buffers[u].clear()
+                            wt[u] = w + 1 if target is None else target
+                            rt[u] += 1
+                    else:
+                        # Endgame: plain asynchronous Two-Choices.
+                        r = nbr[nbr_ptr]
+                        v1 = r + 1 if r >= u else r
+                        r = nbr[nbr_ptr + 1]
+                        v2 = r + 1 if r >= u else r
+                        nbr_ptr += 2
+                        c1 = colors[v1]
+                        if c1 == colors[v2]:
+                            old = colors[u]
+                            if c1 != old:
+                                counts[old] -= 1
+                                counts[c1] += 1
+                                colors[u] = c1
+                        w += 1
+                        wt[u] = w
+                        rt[u] += 1
+                        if w >= total_wt:
+                            terminated[u] = True
+                            alive -= 1
+                            if first_termination_tick is None:
+                                first_termination_tick = ticks
+                            if alive == 0:
+                                stop = True
+                                break
+                if ticks % check_stride == 0:
+                    if first_consensus_tick is None and max(counts) == n:
+                        first_consensus_tick = ticks
+                        if stop_at_consensus:
+                            stop = True
+                            break
+                    if record_spread and ticks >= next_spread_tick:
+                        next_spread_tick += spread_stride
+                        spread_trace.append(
+                            _spread_snapshot(ticks / tick_rate, wt, terminated, delta, alive)
+                        )
+                    if trace is not None and ticks >= next_trace_tick:
+                        next_trace_tick += trace_stride
+                        trace.record(ticks / tick_rate, counts)
+                if ticks >= max_ticks:
+                    stop = True
+                    break
+
+        final_counts = np.asarray(counts, dtype=np.int64)
+        consensus = int(final_counts.max()) == n
+        converged = consensus or (first_consensus_tick is not None)
+        if trace is not None:
+            trace.record(ticks / tick_rate, counts)
+        metadata = {
+            "engine": "async-plurality/fast",
+            "protocol": "async-plurality",
+            "schedule": schedule.describe(),
+            "delta": schedule.delta,
+            "phases": schedule.phases,
+            "part_one_length": schedule.part_one_length,
+            "endgame_ticks": schedule.endgame_ticks,
+            "sync_enabled": schedule.sync_enabled,
+            "first_consensus_parallel_time": (
+                None if first_consensus_tick is None else first_consensus_tick / tick_rate
+            ),
+            "first_termination_parallel_time": (
+                None if first_termination_tick is None else first_termination_tick / tick_rate
+            ),
+            "consensus_before_first_termination": (
+                None
+                if first_consensus_tick is None
+                else (first_termination_tick is None or first_consensus_tick <= first_termination_tick)
+            ),
+            "terminated_nodes": n - alive,
+            "spread_trace": spread_trace,
+        }
+        return build_result(
+            converged=converged,
+            initial_counts=np.asarray(initial_counts, dtype=np.int64),
+            final_counts=final_counts,
+            rounds=ticks,
+            parallel_time=ticks / tick_rate,
+            trace=trace,
+            metadata=metadata,
+        )
+
+
+def _spread_snapshot(parallel_time: float, wt: List[int], terminated: List[bool], delta: int, alive: int) -> Dict:
+    """Working-time dispersion among active nodes at one instant.
+
+    ``poor_fraction`` uses the paper's threshold ``Delta``;
+    ``poor_fraction_2x`` / ``poor_fraction_4x`` loosen it, which matters
+    at laptop-scale ``n`` where the Poisson noise within a single phase
+    already exceeds the asymptotic ``Delta`` (see EXPERIMENTS.md, T7).
+    """
+    if alive == 0:
+        return {
+            "time": parallel_time,
+            "spread": 0,
+            "spread_core": 0,
+            "poor_fraction": 0.0,
+            "poor_fraction_2x": 0.0,
+            "poor_fraction_4x": 0.0,
+        }
+    active = np.array([w for w, t in zip(wt, terminated) if not t], dtype=np.int64)
+    median = np.median(active)
+    deviation = np.abs(active - median)
+    lo, hi = np.quantile(active, [0.005, 0.995])
+    return {
+        "time": parallel_time,
+        "spread": int(active.max() - active.min()),
+        "spread_core": int(round(hi - lo)),
+        "poor_fraction": float(np.mean(deviation > delta)),
+        "poor_fraction_2x": float(np.mean(deviation > 2 * delta)),
+        "poor_fraction_4x": float(np.mean(deviation > 4 * delta)),
+    }
+
+
+def _materialize(initial, rng: np.random.Generator):
+    if isinstance(initial, ColorConfiguration):
+        return assignment_from_counts(initial, rng=rng), initial.k
+    colors = np.asarray(initial, dtype=np.int64)
+    if colors.ndim != 1 or colors.size == 0:
+        raise ConfigurationError("explicit colour arrays must be non-empty and 1-D")
+    return colors, int(colors.max()) + 1
+
+
+class AsyncPluralityProtocol(SequentialProtocol):
+    """Tick-interface realisation of the phased protocol.
+
+    Semantically identical to :class:`AsyncPluralityConsensus` but
+    expressed through :class:`~repro.protocols.base.SequentialProtocol`
+    so the generic engines can drive it — in particular the
+    continuous-time engine with response delays (experiment T12).
+
+    Under delayed responses, a node whose request is in flight skips
+    protocol actions while its clock ticks (see
+    :mod:`repro.engine.continuous`); target attributes (bit, real time)
+    are read at response-completion time.
+    """
+
+    name = "async-plurality/seq"
+
+    def __init__(self, **schedule_kwargs):
+        self.params = _ScheduleParams(**schedule_kwargs)
+
+    # -- state -----------------------------------------------------------
+    def make_state(self, colors: np.ndarray, k: int) -> AsyncNodeState:
+        state = AsyncNodeState(colors=np.asarray(colors, dtype=np.int64), k=k)
+        state.schedule = self.params.compile(state.n)
+        state.buffers = [SyncSampleBuffer() for _ in range(state.n)]
+        state.pending_targets = {}
+        return state
+
+    # -- tick interface ----------------------------------------------------
+    def tick_targets(self, state: AsyncNodeState, node: int, topology: Topology, rng: np.random.Generator) -> np.ndarray:
+        schedule: PhaseSchedule = state.schedule
+        if state.terminated[node]:
+            return np.empty(0, dtype=np.int64)
+        w = int(state.working_time[node])
+        if w >= schedule.part_one_length:
+            targets = topology.sample_neighbors(node, 2, rng)
+        else:
+            action = schedule.action_at(w)
+            if action == ACTION_TC_SAMPLE:
+                targets = topology.sample_neighbors(node, 2, rng)
+            elif action == ACTION_BP and not state.bit[node]:
+                targets = topology.sample_neighbors(node, 1, rng)
+            elif action == ACTION_SYNC_SAMPLE:
+                targets = topology.sample_neighbors(node, 1, rng)
+            else:
+                targets = np.empty(0, dtype=np.int64)
+        state.pending_targets[node] = targets
+        return targets
+
+    def tick_apply(self, state: AsyncNodeState, node: int, observed_colors: np.ndarray) -> None:
+        schedule: PhaseSchedule = state.schedule
+        if state.terminated[node]:
+            return
+        targets = state.pending_targets.pop(node, np.empty(0, dtype=np.int64))
+        w = int(state.working_time[node])
+        phase_len = schedule.phase_length
+        if w >= schedule.part_one_length:
+            if len(observed_colors) == 2 and observed_colors[0] == observed_colors[1]:
+                state.colors[node] = observed_colors[0]
+            state.working_time[node] = w + 1
+            state.real_time[node] += 1
+            if w + 1 >= schedule.total_length:
+                state.terminated[node] = True
+            return
+        action = schedule.action_at(w)
+        if action == ACTION_TC_SAMPLE:
+            if len(observed_colors) == 2 and observed_colors[0] == observed_colors[1]:
+                state.intermediate[node] = observed_colors[0]
+            else:
+                state.intermediate[node] = NO_COLOR
+        elif action == ACTION_TC_COMMIT:
+            ic = int(state.intermediate[node])
+            if ic != NO_COLOR:
+                state.colors[node] = ic
+                state.bit[node] = True
+            else:
+                state.bit[node] = False
+            state.intermediate[node] = NO_COLOR
+        elif action == ACTION_BP:
+            if not state.bit[node] and len(targets):
+                target = int(targets[0])
+                # Bit and colour are read together at response time.
+                if state.bit[target]:
+                    state.colors[node] = state.colors[target]
+                    state.bit[node] = True
+        elif action == ACTION_SYNC_SAMPLE:
+            if len(targets):
+                target = int(targets[0])
+                state.buffers[node].collect(
+                    w // phase_len, int(state.real_time[target]), int(state.real_time[node])
+                )
+        elif action == ACTION_SYNC_JUMP:
+            phase = w // phase_len
+            target_wt = jump_target(
+                state.buffers[node], phase, int(state.real_time[node]), schedule.sync_starts[phase]
+            )
+            state.buffers[node].clear()
+            state.real_time[node] += 1
+            state.working_time[node] = w + 1 if target_wt is None else target_wt
+            return
+        state.working_time[node] = w + 1
+        state.real_time[node] += 1
+
+    def is_absorbed(self, state: AsyncNodeState) -> bool:
+        return bool(state.terminated.all())

@@ -1,0 +1,136 @@
+"""Protocol interfaces.
+
+The paper's processes are driven by three different machines, so a
+protocol may implement up to three complementary interfaces:
+
+:class:`SynchronousProtocol`
+    Round-based, agent-level: ``round_update`` rewrites the whole state
+    vector once per synchronous round (Theorems 1.1 and 1.2 substrate).
+:class:`CountsProtocol`
+    Round-based on ``K_n`` at the level of colour *counts*.  On the
+    complete graph with uniform sampling the round transition of every
+    protocol here depends only on the counts vector, so a round can be
+    drawn *exactly* from a handful of multinomials — this is what lets
+    the benchmarks sweep ``n`` up to ``10^9``.
+:class:`SequentialProtocol`
+    Tick-based: one uniformly random node acts per tick (the paper's
+    sequential model, equivalent in run time to the Poisson-clock model
+    it cites Mosk-Aoyama & Shah for).  The interface splits a tick into
+    *target selection* and *apply*, which lets the continuous-time
+    engine inject response delays (the Discussion-section extension)
+    without protocols knowing about it.
+
+Protocols are stateless policy objects; all mutable simulation state
+lives in :class:`~repro.core.state.NodeArrayState` (or a subclass), so
+one protocol instance can drive many concurrent runs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Optional
+
+import numpy as np
+
+from ..core.colors import ColorConfiguration
+from ..core.exceptions import ProtocolError
+from ..core.state import NodeArrayState
+from ..graphs.topology import Topology
+
+__all__ = [
+    "SynchronousProtocol",
+    "CountsProtocol",
+    "SequentialProtocol",
+]
+
+
+class SynchronousProtocol(ABC):
+    """Agent-level, round-based protocol."""
+
+    #: human-readable protocol name used in tables and result stores.
+    name: str = "synchronous-protocol"
+
+    @abstractmethod
+    def round_update(self, state: NodeArrayState, topology: Topology, rng: np.random.Generator) -> None:
+        """Advance *state* by one synchronous round, in place.
+
+        All nodes sample simultaneously from the *pre-round* state and
+        then switch simultaneously, as the paper's synchronous model
+        requires; implementations must therefore read from a snapshot
+        (or be written so reads complete before any write).
+        """
+
+    def make_state(self, colors: np.ndarray, k: int) -> NodeArrayState:
+        """Build the state object this protocol operates on."""
+        return NodeArrayState(colors=np.asarray(colors, dtype=np.int64), k=k)
+
+    def is_absorbed(self, state: NodeArrayState) -> bool:
+        """True when no future round can change the state."""
+        return state.is_consensus()
+
+
+class CountsProtocol(ABC):
+    """Exact counts-level protocol on the complete graph.
+
+    The internal *counts state* is protocol-specific (e.g. OneExtraBit
+    tracks counts for every ``(colour, bit)`` pair plus its position in
+    the phase schedule); :meth:`color_counts` projects it back to the
+    plain colour histogram used for reporting.
+    """
+
+    name: str = "counts-protocol"
+
+    @abstractmethod
+    def init_counts(self, config: ColorConfiguration) -> Any:
+        """Build the internal counts state for an initial configuration."""
+
+    @abstractmethod
+    def step(self, counts_state: Any, rng: np.random.Generator) -> Any:
+        """Advance by one synchronous round; returns the new state.
+
+        Implementations draw the next state from the exact distribution
+        of the agent-based round transition on ``K_n``.
+        """
+
+    @abstractmethod
+    def color_counts(self, counts_state: Any) -> np.ndarray:
+        """Project the internal state to a colour-counts vector."""
+
+    def is_absorbed(self, counts_state: Any) -> bool:
+        """True when the projected configuration is a fixed point."""
+        counts = self.color_counts(counts_state)
+        return int(counts.max()) == int(counts.sum())
+
+
+class SequentialProtocol(ABC):
+    """Tick-based protocol: one node acts per tick.
+
+    Subclasses implement :meth:`tick_targets` / :meth:`tick_apply`; the
+    default :meth:`seq_tick` composes them with an instantaneous
+    observation, which is the paper's base model ("once a node contacts
+    another node, it receives that node's response without any delay").
+    """
+
+    name: str = "sequential-protocol"
+
+    def make_state(self, colors: np.ndarray, k: int) -> NodeArrayState:
+        """Build the state object this protocol operates on."""
+        return NodeArrayState(colors=np.asarray(colors, dtype=np.int64), k=k)
+
+    @abstractmethod
+    def tick_targets(self, state: NodeArrayState, node: int, topology: Topology, rng: np.random.Generator) -> np.ndarray:
+        """Nodes the ticking node wants to observe (may be empty)."""
+
+    @abstractmethod
+    def tick_apply(self, state: NodeArrayState, node: int, observed_colors: np.ndarray) -> None:
+        """Update *node* given the observed colours of its targets."""
+
+    def seq_tick(self, state: NodeArrayState, node: int, topology: Topology, rng: np.random.Generator) -> None:
+        """One tick with instantaneous responses (sequential model)."""
+        targets = self.tick_targets(state, node, topology, rng)
+        observed = state.colors[targets] if len(targets) else np.empty(0, dtype=np.int64)
+        self.tick_apply(state, node, observed)
+
+    def is_absorbed(self, state: NodeArrayState) -> bool:
+        """True when no future tick can change the state."""
+        return state.is_consensus()

@@ -1,0 +1,146 @@
+"""The endgame (part two) in isolation.
+
+Section 3.2: once part one has driven the plurality to
+``c1 >= (1 - eps) n``, the nodes run plain asynchronous Two-Choices;
+martingale/drift arguments show every node adopts ``C1`` before the
+first node finishes part two, w.h.p.
+
+This module runs exactly that second part on its own, from an explicit
+near-consensus start, so the claim can be measured directly
+(experiment T9) without simulating part one first.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..core.colors import ColorConfiguration
+from ..core.results import RunResult
+from ..core.rng import SeedLike, as_generator
+from ..engine.base import build_result
+
+__all__ = ["near_consensus_start", "run_endgame"]
+
+
+def near_consensus_start(n: int, k: int, epsilon: float) -> ColorConfiguration:
+    """The part-one handover state: ``c1 = (1 - eps) n``, rest split evenly.
+
+    ``k`` counts *all* colour classes (including the plurality); the
+    ``eps * n`` minority nodes are spread as evenly as possible over
+    the ``k - 1`` runner-up colours.
+    """
+    if k < 2:
+        raise ValueError(f"need k >= 2 colours, got {k}")
+    if not 0.0 < epsilon < 0.5:
+        raise ValueError(f"epsilon must be in (0, 0.5), got {epsilon}")
+    minority = int(round(epsilon * n))
+    minority = max(k - 1, minority)  # every colour keeps >= 1 supporter
+    counts = [n - minority]
+    share, remainder = divmod(minority, k - 1)
+    for j in range(k - 1):
+        counts.append(share + (1 if j < remainder else 0))
+    return ColorConfiguration(counts)
+
+
+def run_endgame(
+    initial: ColorConfiguration,
+    endgame_factor: float = 10.0,
+    seed: SeedLike = None,
+    max_parallel_time: Optional[float] = None,
+) -> RunResult:
+    """Run part two: asynchronous Two-Choices with per-node termination.
+
+    Every node executes plain Two-Choices on each of its ticks and
+    freezes after ``ceil(endgame_factor * ln n)`` own ticks.  The
+    result's metadata records when consensus happened relative to the
+    first termination (the Section 3.2 claim), and
+    ``metadata["consensus_before_first_termination"]`` is the per-run
+    verdict.
+
+    The run always continues until every node has terminated (the claim
+    is about orderings, so an early exit would bias it).
+    """
+    rng = as_generator(seed)
+    n = initial.n
+    k = initial.k
+    budget = max(1, int(math.ceil(endgame_factor * max(math.log(n), 1.0))))
+    if max_parallel_time is None:
+        max_parallel_time = 3.0 * budget + 20.0 * max(math.log(n), 1.0)
+    max_ticks = int(max_parallel_time * n)
+
+    from ..core.colors import assignment_from_counts
+
+    colors = assignment_from_counts(initial, rng=rng).tolist()
+    counts = np.bincount(colors, minlength=k).tolist()
+    initial_counts = list(counts)
+    remaining = [budget] * n
+    alive = n
+    ticks = 0
+    first_consensus_tick = None
+    first_termination_tick = None
+    batch = 8192
+    nbr = rng.integers(0, n - 1, size=2 * batch).tolist()
+    nbr_ptr = 0
+    nbr_len = len(nbr)
+
+    while alive > 0 and ticks < max_ticks:
+        picks = rng.integers(0, n, size=batch).tolist()
+        for u in picks:
+            ticks += 1
+            if remaining[u] > 0:
+                if nbr_ptr + 2 > nbr_len:
+                    nbr = rng.integers(0, n - 1, size=2 * batch).tolist()
+                    nbr_ptr = 0
+                r = nbr[nbr_ptr]
+                v1 = r + 1 if r >= u else r
+                r = nbr[nbr_ptr + 1]
+                v2 = r + 1 if r >= u else r
+                nbr_ptr += 2
+                c1 = colors[v1]
+                if c1 == colors[v2]:
+                    old = colors[u]
+                    if c1 != old:
+                        counts[old] -= 1
+                        counts[c1] += 1
+                        colors[u] = c1
+                remaining[u] -= 1
+                if remaining[u] == 0:
+                    alive -= 1
+                    if first_termination_tick is None:
+                        first_termination_tick = ticks
+                    if alive == 0:
+                        break
+            if first_consensus_tick is None and ticks % n == 0 and max(counts) == n:
+                first_consensus_tick = ticks
+        if alive == 0:
+            break
+
+    final_counts = np.asarray(counts, dtype=np.int64)
+    consensus = int(final_counts.max()) == n
+    if consensus and first_consensus_tick is None:
+        first_consensus_tick = ticks
+    return build_result(
+        converged=consensus,
+        initial_counts=np.asarray(initial_counts, dtype=np.int64),
+        final_counts=final_counts,
+        rounds=ticks,
+        parallel_time=ticks / n,
+        metadata={
+            "engine": "endgame",
+            "protocol": "endgame/two-choices",
+            "endgame_ticks": budget,
+            "first_consensus_parallel_time": (
+                None if first_consensus_tick is None else first_consensus_tick / n
+            ),
+            "first_termination_parallel_time": (
+                None if first_termination_tick is None else first_termination_tick / n
+            ),
+            "consensus_before_first_termination": (
+                first_consensus_tick is not None
+                and (first_termination_tick is None or first_consensus_tick <= first_termination_tick)
+            ),
+        },
+    )

@@ -1,0 +1,239 @@
+"""The OneExtraBit protocol (Theorem 1.2, synchronous memory model).
+
+Section 2 of the paper: to beat the ``Omega(k)`` lower bound of plain
+Two-Choices, each node carries **one extra bit** and the process runs
+in *phases*.  A phase consists of
+
+1. one **Two-Choices round** — sample two uniform neighbours; if their
+   colours coincide, adopt that colour; the bit is set to ``True`` iff
+   the two samples coincided (i.e. the node (re-)adopted a colour this
+   round).  This concentrates the number of bit-set nodes with colour
+   ``C_j`` around ``c_j^2 / n``.
+2. ``R = Theta(log k + log log n)`` **Bit-Propagation rounds** — every
+   node whose bit is unset samples one uniform neighbour per round; if
+   the sampled node's bit is set, the sampler adopts its colour and
+   sets its own bit (so it starts answering queries too).
+
+After Bit-Propagation the colour shares among bit-set nodes are close
+to ``c_j^2 / x`` (``x`` = total bits after the Two-Choices round), so
+the ratio ``c_1 / c_j`` squares once per phase — the quadratic
+amplification that experiment T5 measures.  Nodes that never meet a
+bit-set neighbour within the ``R`` rounds simply keep their colour (a
+low-probability event that the analysis absorbs).
+
+Bit semantics note: we set the bit at the Two-Choices round iff the two
+samples *coincided*, not iff the colour literally changed.  This
+matches the paper's stated concentration ``c_1^2 / n`` for bit-set
+``C_1`` nodes (the probability both samples show ``C_1``), which counts
+nodes that re-adopted their own colour.
+
+Both an agent-based and an exact counts-based realisation are provided;
+the counts state tracks ``(A_j, B_j)`` — bit-set / bit-unset nodes per
+colour — and the position inside the phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.colors import ColorConfiguration
+from ..core.exceptions import ConfigurationError
+from ..core.state import NodeArrayState
+from ..graphs.topology import Topology
+from .base import CountsProtocol, SynchronousProtocol
+
+__all__ = [
+    "default_bp_rounds",
+    "OneExtraBitState",
+    "OneExtraBitSynchronous",
+    "OneExtraBitCountsState",
+    "OneExtraBitCounts",
+]
+
+
+def default_bp_rounds(n: int, k: int, extra: int = 2) -> int:
+    """The paper's ``Theta(log k + log log n)`` Bit-Propagation length.
+
+    ``log2 k`` rounds double the bit-set population from its ``~n/k``
+    floor up to ``Theta(n)``; ``log2 log2 n`` more cover the saturation
+    tail; *extra* constant rounds absorb small-``n`` effects.
+    """
+    if n < 2:
+        raise ConfigurationError(f"n must be >= 2, got {n}")
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    log_k = np.log2(max(k, 2))
+    log_log_n = np.log2(max(np.log2(n), 2.0))
+    return int(np.ceil(log_k) + np.ceil(log_log_n)) + int(extra)
+
+
+@dataclass
+class OneExtraBitState(NodeArrayState):
+    """Agent state: colours + the extra bit + phase position."""
+
+    bit: np.ndarray = None
+    round_index: int = 0
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.bit is None:
+            self.bit = np.zeros(self.n, dtype=bool)
+        if self.bit.shape != (self.n,):
+            raise ConfigurationError(f"bit must have shape ({self.n},)")
+
+
+class OneExtraBitSynchronous(SynchronousProtocol):
+    """Agent-based OneExtraBit.
+
+    Parameters
+    ----------
+    bp_rounds:
+        Bit-Propagation rounds per phase; ``None`` selects the paper's
+        ``Theta(log k + log log n)`` default at state-creation time
+        (needs ``n`` and ``k``, hence resolved lazily).
+    """
+
+    name = "one-extra-bit/sync"
+
+    def __init__(self, bp_rounds: int = None):
+        if bp_rounds is not None and bp_rounds < 1:
+            raise ConfigurationError(f"bp_rounds must be >= 1, got {bp_rounds}")
+        self._bp_rounds = bp_rounds
+
+    def make_state(self, colors: np.ndarray, k: int) -> OneExtraBitState:
+        return OneExtraBitState(colors=np.asarray(colors, dtype=np.int64), k=k)
+
+    def bp_rounds_for(self, n: int, k: int) -> int:
+        return self._bp_rounds if self._bp_rounds is not None else default_bp_rounds(n, k)
+
+    def round_update(self, state: OneExtraBitState, topology: Topology, rng: np.random.Generator) -> None:
+        phase_length = 1 + self.bp_rounds_for(state.n, state.k)
+        position = state.round_index % phase_length
+        if position == 0:
+            self._two_choices_round(state, topology, rng)
+        else:
+            self._bit_propagation_round(state, topology, rng)
+        state.round_index += 1
+
+    def _two_choices_round(self, state: OneExtraBitState, topology: Topology, rng: np.random.Generator) -> None:
+        nodes = np.arange(state.n, dtype=np.int64)
+        pairs = topology.sample_neighbor_pairs(nodes, rng)
+        first = state.colors[pairs[:, 0]]
+        second = state.colors[pairs[:, 1]]
+        agree = first == second
+        state.colors = np.where(agree, first, state.colors)
+        state.bit = agree.copy()
+
+    def _bit_propagation_round(self, state: OneExtraBitState, topology: Topology, rng: np.random.Generator) -> None:
+        seekers = np.flatnonzero(~state.bit)
+        if seekers.size == 0:
+            return
+        targets = topology.sample_neighbors_many(seekers, rng)
+        # Reads come from the pre-round snapshot: simultaneous updates.
+        target_bit = state.bit[targets]
+        target_color = state.colors[targets]
+        hits = np.flatnonzero(target_bit)
+        winners = seekers[hits]
+        state.colors[winners] = target_color[hits]
+        state.bit[winners] = True
+
+
+@dataclass
+class OneExtraBitCountsState:
+    """Counts state: bit-set / bit-unset histograms + phase position."""
+
+    bit_set: np.ndarray
+    bit_unset: np.ndarray
+    round_index: int = 0
+
+    @property
+    def total(self) -> np.ndarray:
+        return self.bit_set + self.bit_unset
+
+
+class OneExtraBitCounts(CountsProtocol):
+    """Exact counts-level OneExtraBit on ``K_n``."""
+
+    name = "one-extra-bit/counts"
+
+    def __init__(self, bp_rounds: int = None):
+        if bp_rounds is not None and bp_rounds < 1:
+            raise ConfigurationError(f"bp_rounds must be >= 1, got {bp_rounds}")
+        self._bp_rounds = bp_rounds
+
+    def bp_rounds_for(self, n: int, k: int) -> int:
+        return self._bp_rounds if self._bp_rounds is not None else default_bp_rounds(n, k)
+
+    def init_counts(self, config: ColorConfiguration) -> OneExtraBitCountsState:
+        counts = np.asarray(config.counts, dtype=np.int64)
+        return OneExtraBitCountsState(
+            bit_set=np.zeros_like(counts),
+            bit_unset=counts.copy(),
+            round_index=0,
+        )
+
+    def step(self, counts_state: OneExtraBitCountsState, rng: np.random.Generator) -> OneExtraBitCountsState:
+        totals = counts_state.total
+        n = int(totals.sum())
+        k = totals.size
+        phase_length = 1 + self.bp_rounds_for(n, k)
+        position = counts_state.round_index % phase_length
+        if position == 0:
+            new_state = self._two_choices_step(counts_state, rng)
+        else:
+            new_state = self._bit_propagation_step(counts_state, rng)
+        new_state.round_index = counts_state.round_index + 1
+        return new_state
+
+    def _two_choices_step(self, counts_state: OneExtraBitCountsState, rng: np.random.Generator) -> OneExtraBitCountsState:
+        totals = counts_state.total
+        n = int(totals.sum())
+        k = totals.size
+        new_set = np.zeros(k, dtype=np.int64)
+        new_unset = np.zeros(k, dtype=np.int64)
+        base = totals.astype(float)
+        for i in range(k):
+            group = int(totals[i])
+            if group == 0:
+                continue
+            probs_one = base.copy()
+            probs_one[i] -= 1.0  # self-exclusion
+            probs_one /= n - 1
+            adopt = probs_one * probs_one
+            keep = max(0.0, 1.0 - float(adopt.sum()))
+            pvals = np.concatenate([adopt, [keep]])
+            pvals /= pvals.sum()
+            draws = rng.multinomial(group, pvals)
+            new_set += draws[:k]
+            new_unset[i] += draws[k]
+        return OneExtraBitCountsState(bit_set=new_set, bit_unset=new_unset)
+
+    def _bit_propagation_step(self, counts_state: OneExtraBitCountsState, rng: np.random.Generator) -> OneExtraBitCountsState:
+        bit_set = counts_state.bit_set.astype(np.int64).copy()
+        bit_unset = counts_state.bit_unset.astype(np.int64).copy()
+        totals = counts_state.total
+        n = int(totals.sum())
+        k = totals.size
+        # A seeker samples one of its n-1 neighbours; the seeker itself
+        # is bit-unset, so the bit-set mass among neighbours is exactly
+        # `bit_set` (pre-round snapshot for simultaneity).
+        snapshot_set = counts_state.bit_set.astype(float)
+        hit_probs = snapshot_set / (n - 1)
+        stay = max(0.0, 1.0 - float(hit_probs.sum()))
+        pvals = np.concatenate([hit_probs, [stay]])
+        pvals /= pvals.sum()
+        new_set = bit_set
+        new_unset = np.zeros(k, dtype=np.int64)
+        for i in range(k):
+            group = int(bit_unset[i])
+            if group == 0:
+                continue
+            draws = rng.multinomial(group, pvals)
+            new_set += draws[:k]
+            new_unset[i] += draws[k]
+        return OneExtraBitCountsState(bit_set=new_set, bit_unset=new_unset)
+
+    def color_counts(self, counts_state: OneExtraBitCountsState) -> np.ndarray:
+        return counts_state.total

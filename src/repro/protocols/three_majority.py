@@ -1,0 +1,102 @@
+"""The 3-Majority dynamics — standard plurality-consensus baseline.
+
+A node samples three neighbours (uniformly, with replacement) and
+adopts the majority colour among the three samples; if all three
+samples are distinct it adopts the first sample's colour (the common
+random-tie-break variant, e.g. Becchetti et al., SODA'16).
+
+The counts-level transition on ``K_n`` is exact: with per-group sample
+probabilities ``q_j`` the adopted colour is ``j`` with probability
+
+    P(adopt j) = q_j^3 + 3 q_j^2 (1 - q_j) + q_j * [(1 - q_j)^2 - (S2 - q_j^2)]
+
+where ``S2 = sum_a q_a^2`` — the three terms are "all three ``j``",
+"exactly two ``j``", and "all distinct with first sample ``j``".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.colors import ColorConfiguration
+from ..core.state import NodeArrayState
+from ..graphs.topology import Topology
+from .base import CountsProtocol, SequentialProtocol, SynchronousProtocol
+
+__all__ = ["ThreeMajoritySynchronous", "ThreeMajorityCounts", "ThreeMajoritySequential"]
+
+
+def _majority_of_three(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Vectorised majority with first-sample tie-break."""
+    out = a.copy()
+    # b wins when it pairs with c against a lone a.
+    out = np.where((b == c) & (a != b), b, out)
+    return out
+
+
+class ThreeMajoritySynchronous(SynchronousProtocol):
+    """Agent-based synchronous 3-Majority."""
+
+    name = "three-majority/sync"
+
+    def round_update(self, state: NodeArrayState, topology: Topology, rng: np.random.Generator) -> None:
+        nodes = np.arange(state.n, dtype=np.int64)
+        first = state.colors[topology.sample_neighbors_many(nodes, rng)]
+        second = state.colors[topology.sample_neighbors_many(nodes, rng)]
+        third = state.colors[topology.sample_neighbors_many(nodes, rng)]
+        state.colors = _majority_of_three(first, second, third)
+
+
+class ThreeMajorityCounts(CountsProtocol):
+    """Exact counts-level 3-Majority on ``K_n``."""
+
+    name = "three-majority/counts"
+
+    def init_counts(self, config: ColorConfiguration) -> np.ndarray:
+        return np.asarray(config.counts, dtype=np.int64)
+
+    def step(self, counts_state: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        counts = counts_state
+        n = int(counts.sum())
+        k = counts.size
+        new_counts = np.zeros(k, dtype=np.int64)
+        base = counts.astype(float)
+        for i in range(k):
+            group = int(counts[i])
+            if group == 0:
+                continue
+            q = base.copy()
+            q[i] -= 1.0  # self-exclusion
+            q /= n - 1
+            q = np.clip(q, 0.0, None)
+            s2 = float(np.sum(q * q))
+            adopt = q**3 + 3.0 * q**2 * (1.0 - q) + q * ((1.0 - q) ** 2 - (s2 - q**2))
+            adopt = np.clip(adopt, 0.0, None)
+            total = float(adopt.sum())
+            # Unlike Two-Choices, 3-Majority always adopts a sampled
+            # colour, so the adopt probabilities sum to one exactly
+            # (up to float error, renormalised here).
+            adopt /= total
+            new_counts += rng.multinomial(group, adopt)
+        return new_counts
+
+    def color_counts(self, counts_state: np.ndarray) -> np.ndarray:
+        return counts_state
+
+
+class ThreeMajoritySequential(SequentialProtocol):
+    """Tick-based 3-Majority for the asynchronous engines."""
+
+    name = "three-majority/seq"
+
+    def tick_targets(self, state: NodeArrayState, node: int, topology: Topology, rng: np.random.Generator) -> np.ndarray:
+        return topology.sample_neighbors(node, 3, rng)
+
+    def tick_apply(self, state: NodeArrayState, node: int, observed_colors: np.ndarray) -> None:
+        if len(observed_colors) != 3:
+            return
+        a, b, c = (int(x) for x in observed_colors)
+        if b == c and a != b:
+            state.colors[node] = b
+        else:
+            state.colors[node] = a

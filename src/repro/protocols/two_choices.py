@@ -1,0 +1,102 @@
+"""The Two-Choices plurality-consensus protocol.
+
+Cooper, Elsässer & Radzik's process (the paper's reference [2]) and the
+object of Theorem 1.1: a node samples two neighbours uniformly at
+random, with replacement, and adopts their colour if and only if the
+two sampled colours coincide.
+
+Three interchangeable realisations are provided:
+
+* :class:`TwoChoicesSynchronous` — agent-based synchronous rounds on
+  any topology (every node acts simultaneously from the pre-round
+  state).
+* :class:`TwoChoicesCounts` — the exact counts-level transition on
+  ``K_n``: a node of colour ``i`` adopts colour ``j`` with probability
+  ``((c_j - [i == j]) / (n - 1))^2`` and keeps its colour otherwise, so
+  a round is a sum of per-colour-class multinomials.
+* :class:`TwoChoicesSequential` — the tick-based rule used by the
+  sequential and continuous asynchronous engines (and by the endgame of
+  the paper's main protocol).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..core.colors import ColorConfiguration
+from ..core.state import NodeArrayState
+from ..graphs.topology import Topology
+from .base import CountsProtocol, SequentialProtocol, SynchronousProtocol
+
+__all__ = ["TwoChoicesSynchronous", "TwoChoicesCounts", "TwoChoicesSequential"]
+
+
+class TwoChoicesSynchronous(SynchronousProtocol):
+    """Agent-based synchronous Two-Choices."""
+
+    name = "two-choices/sync"
+
+    def round_update(self, state: NodeArrayState, topology: Topology, rng: np.random.Generator) -> None:
+        nodes = np.arange(state.n, dtype=np.int64)
+        pairs = topology.sample_neighbor_pairs(nodes, rng)
+        first = state.colors[pairs[:, 0]]
+        second = state.colors[pairs[:, 1]]
+        agree = first == second
+        # All reads come from the pre-round snapshot (`first`/`second`
+        # were gathered before any write), so the simultaneous-update
+        # semantics of the synchronous model hold.
+        state.colors = np.where(agree, first, state.colors)
+
+
+class TwoChoicesCounts(CountsProtocol):
+    """Exact counts-level Two-Choices on ``K_n``.
+
+    The counts state is the plain ``int64[k]`` histogram.
+    """
+
+    name = "two-choices/counts"
+
+    def init_counts(self, config: ColorConfiguration) -> np.ndarray:
+        return np.asarray(config.counts, dtype=np.int64)
+
+    def step(self, counts_state: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        counts = counts_state
+        n = int(counts.sum())
+        k = counts.size
+        new_counts = np.zeros(k, dtype=np.int64)
+        base = counts.astype(float)
+        for i in range(k):
+            group = int(counts[i])
+            if group == 0:
+                continue
+            # Sampling excludes the caller itself: a colour-i node sees
+            # colour-j mass (c_j - [i == j]) among its n-1 neighbours.
+            probs_one = base.copy()
+            probs_one[i] -= 1.0
+            probs_one /= n - 1
+            adopt = probs_one * probs_one
+            keep = max(0.0, 1.0 - float(adopt.sum()))
+            pvals = np.concatenate([adopt, [keep]])
+            pvals /= pvals.sum()
+            draws = rng.multinomial(group, pvals)
+            new_counts += draws[:k]
+            new_counts[i] += draws[k]
+        return new_counts
+
+    def color_counts(self, counts_state: np.ndarray) -> np.ndarray:
+        return counts_state
+
+
+class TwoChoicesSequential(SequentialProtocol):
+    """Tick-based Two-Choices for the asynchronous engines."""
+
+    name = "two-choices/seq"
+
+    def tick_targets(self, state: NodeArrayState, node: int, topology: Topology, rng: np.random.Generator) -> np.ndarray:
+        return topology.sample_neighbors(node, 2, rng)
+
+    def tick_apply(self, state: NodeArrayState, node: int, observed_colors: np.ndarray) -> None:
+        if len(observed_colors) == 2 and observed_colors[0] == observed_colors[1]:
+            state.colors[node] = observed_colors[0]

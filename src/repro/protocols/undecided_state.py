@@ -1,0 +1,147 @@
+"""Undecided-State Dynamics (USD) — third-state baseline.
+
+The population-protocol classic (Angluin et al.; analysed for gossip
+plurality consensus by Becchetti et al., SODA'15): nodes are *decided*
+(hold a colour) or *undecided*.  A node samples one neighbour:
+
+* a decided node that samples a *different decided* colour becomes
+  undecided (conflicting evidence);
+* a decided node that samples its own colour or an undecided node keeps
+  its colour;
+* an undecided node adopts the colour of a sampled decided node and
+  stays undecided when it samples another undecided node.
+
+State encoding: colours ``0..k-1`` plus the extra label ``k`` for
+"undecided"; counts vectors reported by these protocols therefore have
+``k + 1`` entries with the undecided bucket **last**.  Note the
+all-undecided configuration is absorbing — it is reached only with
+vanishing probability from biased starts, but budget-bounded callers
+should check for it (``is_absorbed`` does).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..core.colors import ColorConfiguration
+from ..core.state import NodeArrayState
+from ..graphs.topology import Topology
+from .base import CountsProtocol, SequentialProtocol, SynchronousProtocol
+
+__all__ = ["UndecidedStateSynchronous", "UndecidedStateCounts", "UndecidedStateSequential"]
+
+
+def _make_state_with_undecided(colors: np.ndarray, k: int) -> NodeArrayState:
+    """Widen the label space by one to make room for the undecided label."""
+    return NodeArrayState(colors=np.asarray(colors, dtype=np.int64), k=k + 1)
+
+
+class UndecidedStateSynchronous(SynchronousProtocol):
+    """Agent-based synchronous USD."""
+
+    name = "undecided-state/sync"
+
+    def make_state(self, colors: np.ndarray, k: int) -> NodeArrayState:
+        return _make_state_with_undecided(colors, k)
+
+    def round_update(self, state: NodeArrayState, topology: Topology, rng: np.random.Generator) -> None:
+        undecided = state.k - 1
+        nodes = np.arange(state.n, dtype=np.int64)
+        sampled = state.colors[topology.sample_neighbors_many(nodes, rng)]
+        own = state.colors
+        own_undecided = own == undecided
+        sample_undecided = sampled == undecided
+        # Decided nodes: conflict with a different decided colour.
+        conflict = ~own_undecided & ~sample_undecided & (sampled != own)
+        # Undecided nodes: adopt any decided sample.
+        adopt = own_undecided & ~sample_undecided
+        new = own.copy()
+        new[conflict] = undecided
+        new[adopt] = sampled[adopt]
+        state.colors = new
+
+    def is_absorbed(self, state: NodeArrayState) -> bool:
+        counts = state.counts()
+        support = int(np.count_nonzero(counts[:-1]))
+        # Absorbing states: one decided colour plus possibly undecided
+        # mass of zero, or everyone undecided.
+        return (support <= 1 and counts[-1] == 0) or support == 0
+
+
+class UndecidedStateCounts(CountsProtocol):
+    """Exact counts-level USD on ``K_n``.
+
+    Counts state: ``int64[k + 1]`` with the undecided bucket last.
+    """
+
+    name = "undecided-state/counts"
+
+    def init_counts(self, config: ColorConfiguration) -> np.ndarray:
+        return np.asarray(list(config.counts) + [0], dtype=np.int64)
+
+    def step(self, counts_state: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        counts = counts_state
+        n = int(counts.sum())
+        k = counts.size - 1
+        undecided = int(counts[k])
+        new_counts = np.zeros(k + 1, dtype=np.int64)
+        base = counts.astype(float)
+        for i in range(k):
+            group = int(counts[i])
+            if group == 0:
+                continue
+            q = base.copy()
+            q[i] -= 1.0  # self-exclusion among the n-1 neighbours
+            q /= n - 1
+            stay = float(q[i] + q[k])  # own colour or an undecided node
+            stay = min(max(stay, 0.0), 1.0)
+            keepers = int(rng.binomial(group, stay))
+            new_counts[i] += keepers
+            new_counts[k] += group - keepers
+        if undecided > 0:
+            q = base.copy()
+            q[k] -= 1.0
+            q /= n - 1
+            q = np.clip(q, 0.0, None)
+            q /= q.sum()
+            draws = rng.multinomial(undecided, q)
+            new_counts += draws
+        return new_counts
+
+    def color_counts(self, counts_state: np.ndarray) -> np.ndarray:
+        return counts_state
+
+    def is_absorbed(self, counts_state: np.ndarray) -> bool:
+        support = int(np.count_nonzero(counts_state[:-1]))
+        return (support <= 1 and counts_state[-1] == 0) or support == 0
+
+
+class UndecidedStateSequential(SequentialProtocol):
+    """Tick-based USD for the asynchronous engines."""
+
+    name = "undecided-state/seq"
+
+    def make_state(self, colors: np.ndarray, k: int) -> NodeArrayState:
+        return _make_state_with_undecided(colors, k)
+
+    def tick_targets(self, state: NodeArrayState, node: int, topology: Topology, rng: np.random.Generator) -> np.ndarray:
+        return topology.sample_neighbors(node, 1, rng)
+
+    def tick_apply(self, state: NodeArrayState, node: int, observed_colors: np.ndarray) -> None:
+        if not len(observed_colors):
+            return
+        undecided = state.k - 1
+        own = int(state.colors[node])
+        seen = int(observed_colors[0])
+        if own == undecided:
+            if seen != undecided:
+                state.colors[node] = seen
+        elif seen != undecided and seen != own:
+            state.colors[node] = undecided
+
+    def is_absorbed(self, state: NodeArrayState) -> bool:
+        counts = state.counts()
+        support = int(np.count_nonzero(counts[:-1]))
+        return (support <= 1 and counts[-1] == 0) or support == 0

@@ -1,0 +1,75 @@
+"""The Voter model (pull voting) — classic baseline.
+
+A node samples a single neighbour and adopts its colour
+unconditionally.  Voter solves *consensus* but not *plurality*
+consensus: on ``K_n`` the probability that colour ``j`` wins equals its
+initial fraction ``c_j / n``, and the expected time to consensus is
+``Theta(n)`` — both properties the introduction's motivation for
+Two-Choices implicitly contrasts against, and both measurable with this
+implementation (experiment T11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.colors import ColorConfiguration
+from ..core.state import NodeArrayState
+from ..graphs.topology import Topology
+from .base import CountsProtocol, SequentialProtocol, SynchronousProtocol
+
+__all__ = ["VoterSynchronous", "VoterCounts", "VoterSequential"]
+
+
+class VoterSynchronous(SynchronousProtocol):
+    """Agent-based synchronous pull voting."""
+
+    name = "voter/sync"
+
+    def round_update(self, state: NodeArrayState, topology: Topology, rng: np.random.Generator) -> None:
+        nodes = np.arange(state.n, dtype=np.int64)
+        targets = topology.sample_neighbors_many(nodes, rng)
+        state.colors = state.colors[targets]
+
+
+class VoterCounts(CountsProtocol):
+    """Exact counts-level synchronous voter on ``K_n``."""
+
+    name = "voter/counts"
+
+    def init_counts(self, config: ColorConfiguration) -> np.ndarray:
+        return np.asarray(config.counts, dtype=np.int64)
+
+    def step(self, counts_state: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        counts = counts_state
+        n = int(counts.sum())
+        k = counts.size
+        new_counts = np.zeros(k, dtype=np.int64)
+        base = counts.astype(float)
+        for i in range(k):
+            group = int(counts[i])
+            if group == 0:
+                continue
+            probs = base.copy()
+            probs[i] -= 1.0  # self-exclusion
+            probs /= n - 1
+            probs = np.clip(probs, 0.0, None)
+            probs /= probs.sum()
+            new_counts += rng.multinomial(group, probs)
+        return new_counts
+
+    def color_counts(self, counts_state: np.ndarray) -> np.ndarray:
+        return counts_state
+
+
+class VoterSequential(SequentialProtocol):
+    """Tick-based pull voting for the asynchronous engines."""
+
+    name = "voter/seq"
+
+    def tick_targets(self, state: NodeArrayState, node: int, topology: Topology, rng: np.random.Generator) -> np.ndarray:
+        return topology.sample_neighbors(node, 1, rng)
+
+    def tick_apply(self, state: NodeArrayState, node: int, observed_colors: np.ndarray) -> None:
+        if len(observed_colors):
+            state.colors[node] = observed_colors[0]

@@ -1,0 +1,89 @@
+"""Terminal-first visualisation helpers.
+
+The library is offline- and CI-friendly, so its "plots" are plain
+text: sparklines for traces, horizontal bars for comparisons, and a
+log–log scatter grid for scaling sweeps.  The examples and the CLI use
+these; everything returns strings so tests can assert on them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from .core.exceptions import ConfigurationError
+
+__all__ = ["sparkline", "hbar_chart", "scatter_loglog"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], peak: Optional[float] = None) -> str:
+    """Eight-level block rendering of a series (empty input -> '')."""
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    top = float(peak) if peak is not None else max(values)
+    if top <= 0:
+        return " " * len(values)
+    out = []
+    for value in values:
+        level = min(8, max(0, int(round(8 * value / top))))
+        out.append(_BLOCKS[level])
+    return "".join(out)
+
+
+def hbar_chart(labels: Sequence[str], values: Sequence[float], width: int = 40) -> str:
+    """Labelled horizontal bars, scaled to the maximum value."""
+    labels = [str(label) for label in labels]
+    values = [float(v) for v in values]
+    if len(labels) != len(values):
+        raise ConfigurationError(f"{len(labels)} labels but {len(values)} values")
+    if not values:
+        return ""
+    if width < 1:
+        raise ConfigurationError(f"width must be >= 1, got {width}")
+    top = max(values)
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "" if top <= 0 else "#" * max(0, int(round(width * value / top)))
+        lines.append(f"{label.ljust(label_width)}  {bar} {value:g}")
+    return "\n".join(lines)
+
+
+def scatter_loglog(
+    x: Sequence[float],
+    y: Sequence[float],
+    rows: int = 12,
+    cols: int = 48,
+    marker: str = "*",
+) -> str:
+    """ASCII scatter plot with logarithmic axes.
+
+    Useful for eyeballing the scaling sweeps (T1/T2/T6): a power law is
+    a straight line, a logarithm is a flattening curve.
+    """
+    x = [float(v) for v in x]
+    y = [float(v) for v in y]
+    if len(x) != len(y) or not x:
+        raise ConfigurationError("x and y must be equal-length, non-empty")
+    if any(v <= 0 for v in x) or any(v <= 0 for v in y):
+        raise ConfigurationError("log axes need strictly positive data")
+    if rows < 2 or cols < 2:
+        raise ConfigurationError("grid must be at least 2x2")
+    lx = [math.log10(v) for v in x]
+    ly = [math.log10(v) for v in y]
+    x_lo, x_hi = min(lx), max(lx)
+    y_lo, y_hi = min(ly), max(ly)
+    x_span = max(x_hi - x_lo, 1e-12)
+    y_span = max(y_hi - y_lo, 1e-12)
+    grid = [[" "] * cols for _ in range(rows)]
+    for px, py in zip(lx, ly):
+        col = int(round((px - x_lo) / x_span * (cols - 1)))
+        row = rows - 1 - int(round((py - y_lo) / y_span * (rows - 1)))
+        grid[row][col] = marker
+    lines = ["".join(row_cells) for row_cells in grid]
+    header = f"y: {10 ** y_lo:.3g} .. {10 ** y_hi:.3g} (log)"
+    footer = f"x: {10 ** x_lo:.3g} .. {10 ** x_hi:.3g} (log)"
+    return "\n".join([header] + ["|" + line for line in lines] + [footer])

@@ -1,0 +1,25 @@
+"""Workload generators: initial configurations and sweep grids."""
+
+from .initial import (
+    additive_gap,
+    balanced,
+    dirichlet_random,
+    multiplicative_bias,
+    power_law,
+    theorem_1_1_gap,
+    two_colors,
+)
+from .sweeps import linear_ints, log_spaced_ints, powers_of_two
+
+__all__ = [
+    "additive_gap",
+    "balanced",
+    "dirichlet_random",
+    "multiplicative_bias",
+    "power_law",
+    "theorem_1_1_gap",
+    "two_colors",
+    "linear_ints",
+    "log_spaced_ints",
+    "powers_of_two",
+]

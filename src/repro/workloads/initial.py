@@ -1,0 +1,146 @@
+"""Initial opinion configurations for every experiment.
+
+The theorems are parameterised by the initial bias structure; these
+generators produce exactly the configurations the statements quantify
+over:
+
+* :func:`additive_gap` — balanced runners-up with an explicit additive
+  gap ``c1 - c2`` (Theorem 1.1, including its worst case
+  ``c2 = ... = ck``).
+* :func:`multiplicative_bias` — ``c1 = ratio * c2`` with balanced
+  runners-up (Theorem 1.3's ``c1 >= (1 + eps) ci``).
+* :func:`balanced` — no bias at all (lower-bound studies).
+* :func:`power_law` / :func:`dirichlet_random` — skewed landscapes for
+  the example applications and robustness checks.
+
+All generators return counts sorted in descending order (colour 0 is
+the plurality) that sum exactly to ``n``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..core.colors import ColorConfiguration
+from ..core.exceptions import ConfigurationError
+from ..core.rng import SeedLike, as_generator
+
+__all__ = [
+    "balanced",
+    "additive_gap",
+    "multiplicative_bias",
+    "theorem_1_1_gap",
+    "power_law",
+    "dirichlet_random",
+    "two_colors",
+]
+
+
+def _validate(n: int, k: int) -> None:
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    if n < k:
+        raise ConfigurationError(f"need n >= k so every colour has a supporter (n={n}, k={k})")
+
+
+def _exact_sum(counts: np.ndarray, n: int) -> ColorConfiguration:
+    """Fix rounding drift, keep order descending, and validate."""
+    counts = np.asarray(counts, dtype=np.int64)
+    drift = n - int(counts.sum())
+    counts[0] += drift
+    counts = np.sort(counts)[::-1]
+    if counts[-1] < 1:
+        raise ConfigurationError(
+            f"configuration leaves a colour empty: {counts.tolist()} (reduce bias or k)"
+        )
+    return ColorConfiguration(counts.tolist())
+
+
+def balanced(n: int, k: int) -> ColorConfiguration:
+    """As equal as possible: ``c1 - ck <= 1`` (zero-bias baseline)."""
+    _validate(n, k)
+    share, remainder = divmod(n, k)
+    counts = np.full(k, share, dtype=np.int64)
+    counts[:remainder] += 1
+    return ColorConfiguration(counts.tolist())
+
+
+def additive_gap(n: int, k: int, gap: int) -> ColorConfiguration:
+    """``c1 = c2 + gap`` with ``c2 = ... = ck`` (Theorem 1.1's regime).
+
+    The balanced runners-up make this the hardest instance for a given
+    gap — exactly the configuration the lower bound is proved on.
+    """
+    _validate(n, k)
+    if gap < 0:
+        raise ConfigurationError(f"gap must be non-negative, got {gap}")
+    if k == 1:
+        return ColorConfiguration([n])
+    rest = (n - gap) // k
+    if rest < 1:
+        raise ConfigurationError(f"gap={gap} too large for n={n}, k={k}")
+    counts = np.full(k, rest, dtype=np.int64)
+    counts[0] = n - rest * (k - 1)
+    if counts[0] - rest < gap:
+        raise ConfigurationError(f"cannot realise gap={gap} with n={n}, k={k}")
+    return _exact_sum(counts, n)
+
+
+def theorem_1_1_gap(n: int, k: int, z: float = 1.0) -> ColorConfiguration:
+    """Theorem 1.1's threshold instance: gap exactly ``z sqrt(n log n)``."""
+    gap = int(math.ceil(z * math.sqrt(n * max(math.log(n), 1.0))))
+    return additive_gap(n, k, gap)
+
+
+def multiplicative_bias(n: int, k: int, ratio: float) -> ColorConfiguration:
+    """``c1 ~ ratio * c2`` with ``c2 = ... = ck`` (Theorem 1.3's regime)."""
+    _validate(n, k)
+    if ratio < 1.0:
+        raise ConfigurationError(f"ratio must be >= 1, got {ratio}")
+    if k == 1:
+        return ColorConfiguration([n])
+    # Solve ratio * c + (k - 1) * c = n for the runner-up size c.
+    c = int(n / (ratio + (k - 1)))
+    if c < 1:
+        raise ConfigurationError(f"ratio={ratio} too large for n={n}, k={k}")
+    counts = np.full(k, c, dtype=np.int64)
+    counts[0] = n - c * (k - 1)
+    return _exact_sum(counts, n)
+
+
+def power_law(n: int, k: int, alpha: float = 1.0) -> ColorConfiguration:
+    """Zipf-like support: ``c_j`` proportional to ``(j + 1)^(-alpha)``."""
+    _validate(n, k)
+    if alpha < 0:
+        raise ConfigurationError(f"alpha must be non-negative, got {alpha}")
+    weights = (np.arange(1, k + 1, dtype=float)) ** (-alpha)
+    raw = weights / weights.sum() * (n - k)
+    counts = np.floor(raw).astype(np.int64) + 1  # everyone keeps >= 1
+    return _exact_sum(counts, n)
+
+
+def dirichlet_random(n: int, k: int, concentration: float = 1.0, seed: SeedLike = None) -> ColorConfiguration:
+    """Random shares drawn from a symmetric Dirichlet distribution."""
+    _validate(n, k)
+    if concentration <= 0:
+        raise ConfigurationError(f"concentration must be positive, got {concentration}")
+    rng = as_generator(seed)
+    shares = rng.dirichlet(np.full(k, concentration))
+    counts = np.floor(shares * (n - k)).astype(np.int64) + 1
+    return _exact_sum(counts, n)
+
+
+def two_colors(n: int, gap: int) -> ColorConfiguration:
+    """The classic ``k = 2`` setting with an explicit gap."""
+    if n < 2:
+        raise ConfigurationError(f"n must be >= 2, got {n}")
+    if gap < 0:
+        raise ConfigurationError(f"gap must be non-negative, got {gap}")
+    c1 = (n + gap + 1) // 2
+    c2 = n - c1
+    if c2 < 1:
+        raise ConfigurationError(f"gap={gap} too large for n={n}")
+    return ColorConfiguration([c1, c2])

@@ -1,0 +1,56 @@
+"""Parameter-grid helpers for the experiment sweeps."""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..core.exceptions import ConfigurationError
+
+__all__ = ["log_spaced_ints", "powers_of_two", "linear_ints"]
+
+
+def log_spaced_ints(low: int, high: int, count: int) -> List[int]:
+    """*count* distinct integers, geometrically spaced in ``[low, high]``.
+
+    Used for ``n`` sweeps where the theorems predict logarithmic or
+    power-law behaviour — equal spacing in log-space gives every decade
+    equal weight in the slope fits.
+    """
+    if low < 1 or high < low:
+        raise ConfigurationError(f"need 1 <= low <= high, got {low}..{high}")
+    if count < 1:
+        raise ConfigurationError(f"count must be >= 1, got {count}")
+    if count == 1:
+        return [low]
+    ratio = (high / low) ** (1.0 / (count - 1))
+    values = []
+    for i in range(count):
+        value = int(round(low * ratio**i))
+        if not values or value > values[-1]:
+            values.append(value)
+    values[-1] = high
+    return sorted(set(values))
+
+
+def powers_of_two(low: int, high: int) -> List[int]:
+    """All powers of two in ``[low, high]``."""
+    if low < 1 or high < low:
+        raise ConfigurationError(f"need 1 <= low <= high, got {low}..{high}")
+    exponent = max(0, math.ceil(math.log2(low)))
+    values = []
+    while 2**exponent <= high:
+        values.append(2**exponent)
+        exponent += 1
+    if not values:
+        raise ConfigurationError(f"no power of two in [{low}, {high}]")
+    return values
+
+
+def linear_ints(low: int, high: int, step: int) -> List[int]:
+    """Arithmetic grid ``low, low+step, ... <= high``."""
+    if step < 1:
+        raise ConfigurationError(f"step must be >= 1, got {step}")
+    if high < low:
+        raise ConfigurationError(f"need low <= high, got {low}..{high}")
+    return list(range(low, high + 1, step))

@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.rng import as_generator
+from repro.graphs.complete import CompleteGraph
+
+
+@pytest.fixture
+def rng():
+    """A fixed-seed generator; tests needing more streams split it."""
+    return as_generator(12345)
+
+
+@pytest.fixture
+def small_clique():
+    """A complete graph small enough for exhaustive checks."""
+    return CompleteGraph(16)
+
+
+@pytest.fixture
+def medium_clique():
+    """A complete graph for statistical checks."""
+    return CompleteGraph(400)

@@ -1,0 +1,124 @@
+"""Tests for the asynchronous phased protocol (Theorem 1.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.colors import ColorConfiguration
+from repro.core.exceptions import ConfigurationError
+from repro.protocols.async_plurality import AsyncPluralityConsensus
+from repro.workloads.initial import multiplicative_bias
+
+
+@pytest.fixture(scope="module")
+def converged_run():
+    """One shared full run (runs in ~a second)."""
+    config = multiplicative_bias(800, 4, 1.8)
+    return AsyncPluralityConsensus().run(config, seed=7)
+
+
+class TestFullRuns:
+    def test_converges_to_plurality(self, converged_run):
+        assert converged_run.converged
+        assert converged_run.winner == 0
+        assert converged_run.plurality_preserved
+
+    def test_parallel_time_positive_and_bounded(self, converged_run):
+        schedule_total = converged_run.metadata["part_one_length"] + converged_run.metadata["endgame_ticks"]
+        assert 0 < converged_run.parallel_time < 3 * schedule_total
+
+    def test_metadata_fields(self, converged_run):
+        metadata = converged_run.metadata
+        for key in (
+            "delta",
+            "phases",
+            "part_one_length",
+            "endgame_ticks",
+            "sync_enabled",
+            "first_consensus_parallel_time",
+            "consensus_before_first_termination",
+            "spread_trace",
+        ):
+            assert key in metadata
+        assert metadata["sync_enabled"] is True
+
+    def test_spread_trace_recorded(self, converged_run):
+        trace = converged_run.metadata["spread_trace"]
+        assert len(trace) > 3
+        entry = trace[0]
+        assert {"time", "spread", "spread_core", "poor_fraction"} <= set(entry)
+
+    def test_deterministic_given_seed(self):
+        config = multiplicative_bias(400, 4, 1.8)
+        protocol = AsyncPluralityConsensus()
+        a = protocol.run(config, seed=99)
+        b = protocol.run(config, seed=99)
+        assert a.rounds == b.rounds
+        assert a.final.counts == b.final.counts
+
+
+class TestRunToTermination:
+    def test_all_nodes_terminate(self):
+        config = multiplicative_bias(400, 4, 2.0)
+        result = AsyncPluralityConsensus().run(config, seed=3, stop_at_consensus=False)
+        assert result.metadata["terminated_nodes"] == 400
+        assert result.metadata["first_termination_parallel_time"] is not None
+
+    def test_consensus_before_first_termination_usually(self):
+        config = multiplicative_bias(600, 4, 2.0)
+        ok = 0
+        for seed in range(5):
+            result = AsyncPluralityConsensus().run(config, seed=seed, stop_at_consensus=False)
+            if result.metadata["consensus_before_first_termination"]:
+                ok += 1
+        assert ok >= 4  # w.h.p. claim, small-n slack
+
+
+class TestVariants:
+    def test_sync_disabled_still_converges(self):
+        config = multiplicative_bias(600, 4, 2.0)
+        result = AsyncPluralityConsensus(sync_enabled=False).run(config, seed=11)
+        assert result.converged
+        assert result.metadata["sync_enabled"] is False
+
+    def test_explicit_phase_override(self):
+        config = multiplicative_bias(400, 2, 2.0)
+        protocol = AsyncPluralityConsensus(phases=3)
+        assert protocol.schedule_for(400).phases == 3
+        result = protocol.run(config, seed=5)
+        assert result.metadata["phases"] == 3
+
+    def test_explicit_color_array_input(self):
+        colors = np.array([0] * 300 + [1] * 100)
+        result = AsyncPluralityConsensus().run(colors, seed=2)
+        assert result.initial.counts == (300, 100)
+        assert result.converged
+
+    def test_record_trace(self):
+        config = multiplicative_bias(400, 4, 2.0)
+        result = AsyncPluralityConsensus().run(config, seed=8, record_trace=True)
+        assert result.trace is not None
+        assert len(result.trace) >= 2
+        totals = result.trace.count_matrix().sum(axis=1)
+        assert (totals == 400).all()
+
+    def test_tiny_population_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AsyncPluralityConsensus().run(np.array([0]), seed=0)
+
+    def test_budget_exhaustion_is_reported_not_raised(self):
+        config = multiplicative_bias(400, 4, 1.2)
+        result = AsyncPluralityConsensus().run(config, seed=1, max_parallel_time=3.0)
+        assert result.parallel_time <= 3.5
+        # far too short to converge
+        assert not result.final.is_consensus()
+
+
+class TestCountsConsistency:
+    def test_incremental_counts_match_final_colors(self):
+        """The run loop maintains counts incrementally; the reported
+        final counts must equal an O(n) recount of the colour state
+        (regression guard for the bookkeeping)."""
+        config = multiplicative_bias(500, 8, 1.5)
+        result = AsyncPluralityConsensus().run(config, seed=21, stop_at_consensus=False)
+        assert sum(result.final.counts) == 500
+        assert result.final.is_consensus() == result.converged

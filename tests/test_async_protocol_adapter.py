@@ -1,0 +1,120 @@
+"""Tests for the tick-interface variant of the asynchronous protocol,
+including cross-validation against the optimised runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.colors import ColorConfiguration
+from repro.engine.continuous import ContinuousEngine
+from repro.engine.delays import ExponentialDelay
+from repro.engine.sequential import SequentialEngine
+from repro.graphs.complete import CompleteGraph
+from repro.protocols.async_plurality import AsyncPluralityConsensus, AsyncPluralityProtocol
+from repro.protocols.schedule import ACTION_TC_SAMPLE
+from repro.workloads.initial import multiplicative_bias
+
+
+class TestAdapterMechanics:
+    def test_make_state_attaches_schedule(self):
+        protocol = AsyncPluralityProtocol()
+        state = protocol.make_state(np.array([0, 1, 0, 1]), k=2)
+        assert state.schedule.n == 4
+        assert len(state.buffers) == 4
+
+    def test_tick_targets_for_tc_sample(self, rng):
+        protocol = AsyncPluralityProtocol()
+        graph = CompleteGraph(10)
+        state = protocol.make_state(np.zeros(10, dtype=np.int64), k=2)
+        # working time 0 is the first phase's TC sample slot
+        assert state.schedule.action_at(0) == ACTION_TC_SAMPLE
+        targets = protocol.tick_targets(state, 3, graph, rng)
+        assert len(targets) == 2
+
+    def test_tick_apply_advances_clocks(self, rng):
+        protocol = AsyncPluralityProtocol()
+        graph = CompleteGraph(10)
+        state = protocol.make_state(np.zeros(10, dtype=np.int64), k=2)
+        targets = protocol.tick_targets(state, 0, graph, rng)
+        protocol.tick_apply(state, 0, state.colors[targets])
+        assert state.working_time[0] == 1
+        assert state.real_time[0] == 1
+
+    def test_unanimous_tc_sets_intermediate_then_commit_sets_bit(self, rng):
+        protocol = AsyncPluralityProtocol()
+        graph = CompleteGraph(10)
+        state = protocol.make_state(np.zeros(10, dtype=np.int64), k=2)
+        node = 0
+        # drive node 0 through the schedule until just past the commit slot
+        commit_slot = 2 * state.schedule.delta
+        for _ in range(commit_slot + 1):
+            targets = protocol.tick_targets(state, node, graph, rng)
+            observed = state.colors[targets] if len(targets) else np.empty(0, dtype=np.int64)
+            protocol.tick_apply(state, node, observed)
+        assert state.bit[node]  # unanimous population: samples always agree
+
+    def test_terminated_node_ignores_ticks(self, rng):
+        protocol = AsyncPluralityProtocol()
+        graph = CompleteGraph(10)
+        state = protocol.make_state(np.zeros(10, dtype=np.int64), k=2)
+        state.terminated[0] = True
+        targets = protocol.tick_targets(state, 0, graph, rng)
+        assert len(targets) == 0
+        protocol.tick_apply(state, 0, np.empty(0, dtype=np.int64))
+        assert state.working_time[0] == 0
+
+    def test_is_absorbed_when_all_terminated(self):
+        protocol = AsyncPluralityProtocol()
+        state = protocol.make_state(np.zeros(4, dtype=np.int64), k=2)
+        assert not protocol.is_absorbed(state)
+        state.terminated[:] = True
+        assert protocol.is_absorbed(state)
+
+
+class TestAdapterRuns:
+    def test_sequential_engine_run_converges(self):
+        n = 200
+        config = multiplicative_bias(n, 4, 2.0)
+        protocol = AsyncPluralityProtocol()
+        engine = SequentialEngine(protocol, CompleteGraph(n))
+        schedule = protocol.params.compile(n)
+        result = engine.run(config, seed=5, max_ticks=3 * n * schedule.total_length)
+        assert result.converged
+        assert result.winner == 0
+
+    def test_continuous_engine_with_delays_converges(self):
+        n = 150
+        config = multiplicative_bias(n, 4, 2.0)
+        protocol = AsyncPluralityProtocol()
+        engine = ContinuousEngine(protocol, CompleteGraph(n), delay_model=ExponentialDelay(2.0))
+        schedule = protocol.params.compile(n)
+        result = engine.run(config, seed=6, max_time=5.0 * schedule.total_length)
+        assert result.converged
+        assert result.winner == 0
+
+
+class TestCrossValidation:
+    def test_fast_runner_and_adapter_agree_distributionally(self):
+        """The optimised runner and the tick adapter implement the same
+        protocol; their success rates and consensus times must agree
+        within loose statistical bounds on a small instance."""
+        n = 150
+        config = multiplicative_bias(n, 4, 2.0)
+        trials = 5
+        fast_times, fast_wins = [], 0
+        adapter_times, adapter_wins = [], 0
+        fast = AsyncPluralityConsensus()
+        protocol = AsyncPluralityProtocol()
+        schedule = protocol.params.compile(n)
+        for seed in range(trials):
+            r = fast.run(config, seed=seed)
+            fast_times.append(r.parallel_time)
+            fast_wins += int(r.converged and r.winner == 0)
+            engine = SequentialEngine(protocol, CompleteGraph(n))
+            r2 = engine.run(config, seed=seed + 1000, max_ticks=3 * n * schedule.total_length)
+            adapter_times.append(r2.parallel_time)
+            adapter_wins += int(r2.converged and r2.winner == 0)
+        assert fast_wins >= trials - 1
+        assert adapter_wins >= trials - 1
+        # consensus times on the same schedule: same ballpark (x1.6)
+        assert np.mean(adapter_times) < 1.6 * np.mean(fast_times) + 5
+        assert np.mean(fast_times) < 1.6 * np.mean(adapter_times) + 5

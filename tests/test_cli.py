@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_defaults(self):
+        args = build_parser().parse_args(["run", "T3"])
+        assert args.experiment == "T3"
+        assert args.scale == "quick"
+        assert args.store is None
+
+    def test_schedule_command(self):
+        args = build_parser().parse_args(["schedule", "1000", "--no-sync"])
+        assert args.n == 1000
+        assert args.no_sync
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "T1" in out and "T12" in out
+
+    def test_schedule(self, capsys):
+        assert main(["schedule", "4096"]) == 0
+        out = capsys.readouterr().out
+        assert "delta" in out
+        assert "part one length" in out
+
+    def test_schedule_no_sync(self, capsys):
+        assert main(["schedule", "4096", "--no-sync"]) == 0
+        assert "sync_enabled=False" in capsys.readouterr().out
+
+    def test_run_tiny_and_show(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "results")
+        code = main(["run", "T3", "--trials", "2", "--seed", "5", "--store", store_dir])
+        out = capsys.readouterr().out
+        assert "T3" in out
+        assert code in (0, 1)  # checks may fail at tiny trial counts
+        assert main(["show", "T3", "--store", store_dir]) == 0
+        shown = capsys.readouterr().out
+        assert "P(C1 wins)" in shown
+
+    def test_show_missing_store(self, tmp_path):
+        with pytest.raises(Exception):
+            main(["show", "T1", "--store", str(tmp_path / "empty")])
+
+    def test_run_unknown_experiment(self):
+        with pytest.raises(Exception):
+            main(["run", "T99"])

@@ -1,0 +1,179 @@
+"""Tests for repro.core.colors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.colors import (
+    ColorConfiguration,
+    assignment_from_counts,
+    counts_from_assignment,
+)
+from repro.core.exceptions import ConfigurationError
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        config = ColorConfiguration([5, 3, 2])
+        assert config.n == 10
+        assert config.k == 3
+        assert config.counts == (5, 3, 2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            ColorConfiguration([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            ColorConfiguration([3, -1])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ConfigurationError):
+            ColorConfiguration([0, 0, 0])
+
+    def test_allows_some_empty_classes(self):
+        config = ColorConfiguration([4, 0, 1])
+        assert config.k == 3
+        assert config.support_size == 2
+
+    def test_coerces_numpy_ints(self):
+        config = ColorConfiguration(np.array([2, 3], dtype=np.int32))
+        assert config.counts == (2, 3)
+        assert all(isinstance(c, int) for c in config.counts)
+
+
+class TestPluralityQuantities:
+    def test_c1_c2_sorted(self):
+        config = ColorConfiguration([3, 9, 5])
+        assert config.c1 == 9
+        assert config.c2 == 5
+        assert config.plurality == 1
+
+    def test_additive_bias(self):
+        assert ColorConfiguration([7, 4, 4]).additive_bias == 3
+
+    def test_multiplicative_bias(self):
+        assert ColorConfiguration([8, 4]).multiplicative_bias == 2.0
+
+    def test_multiplicative_bias_single_color(self):
+        assert ColorConfiguration([5]).multiplicative_bias == float("inf")
+
+    def test_c2_single_color(self):
+        assert ColorConfiguration([5]).c2 == 0
+
+    def test_fractions_sum_to_one(self):
+        fractions = ColorConfiguration([1, 2, 3, 4]).fractions()
+        assert fractions.sum() == pytest.approx(1.0)
+        assert fractions[3] == pytest.approx(0.4)
+
+
+class TestPredicates:
+    def test_unique_plurality(self):
+        assert ColorConfiguration([5, 3]).has_unique_plurality()
+        assert not ColorConfiguration([4, 4, 1]).has_unique_plurality()
+
+    def test_is_consensus(self):
+        assert ColorConfiguration([9, 0, 0]).is_consensus()
+        assert not ColorConfiguration([8, 1, 0]).is_consensus()
+
+    def test_additive_bias_predicate(self):
+        n = 10_000
+        gap = int(2.0 * np.sqrt(n * np.log(n)))
+        config = ColorConfiguration([n // 2 + gap, n // 2 - gap])
+        assert config.satisfies_additive_bias(z=1.0)
+        assert not config.satisfies_additive_bias(z=10.0)
+
+    def test_multiplicative_bias_predicate(self):
+        config = ColorConfiguration([60, 40])
+        assert config.satisfies_multiplicative_bias(0.5)
+        assert not config.satisfies_multiplicative_bias(0.6)
+
+    def test_multiplicative_bias_rejects_negative_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            ColorConfiguration([2, 1]).satisfies_multiplicative_bias(-0.1)
+
+
+class TestTransforms:
+    def test_with_count(self):
+        config = ColorConfiguration([5, 3]).with_count(1, 7)
+        assert config.counts == (5, 7)
+
+    def test_with_count_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            ColorConfiguration([5, 3]).with_count(2, 1)
+
+    def test_normalized_descending(self):
+        assert ColorConfiguration([1, 9, 4]).normalized().counts == (9, 4, 1)
+
+    def test_sequence_protocol(self):
+        config = ColorConfiguration([4, 2])
+        assert len(config) == 2
+        assert config[0] == 4
+        assert list(config) == [4, 2]
+
+
+class TestAssignmentRoundTrip:
+    def test_counts_from_assignment(self):
+        config = counts_from_assignment([0, 1, 1, 2, 2, 2])
+        assert config.counts == (1, 2, 3)
+
+    def test_counts_from_assignment_with_explicit_k(self):
+        config = counts_from_assignment([0, 0, 1], k=4)
+        assert config.counts == (2, 1, 0, 0)
+
+    def test_counts_from_assignment_k_too_small(self):
+        with pytest.raises(ConfigurationError):
+            counts_from_assignment([0, 3], k=3)
+
+    def test_counts_from_assignment_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            counts_from_assignment([])
+
+    def test_counts_from_assignment_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            counts_from_assignment([0, -1])
+
+    def test_assignment_from_counts_unshuffled(self):
+        config = ColorConfiguration([2, 3])
+        colors = assignment_from_counts(config, shuffle=False)
+        assert colors.tolist() == [0, 0, 1, 1, 1]
+
+    def test_assignment_from_counts_shuffled_preserves_counts(self, rng):
+        config = ColorConfiguration([10, 20, 30])
+        colors = assignment_from_counts(config, rng=rng)
+        assert np.bincount(colors, minlength=3).tolist() == [10, 20, 30]
+
+    def test_round_trip(self, rng):
+        config = ColorConfiguration([7, 1, 4])
+        again = counts_from_assignment(assignment_from_counts(config, rng=rng), k=3)
+        assert again.counts == config.counts
+
+
+@settings(max_examples=60, deadline=None)
+@given(counts=st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=12))
+def test_property_invariants(counts):
+    """Core invariants hold for any valid counts vector."""
+    if sum(counts) == 0:
+        with pytest.raises(ConfigurationError):
+            ColorConfiguration(counts)
+        return
+    config = ColorConfiguration(counts)
+    assert config.n == sum(counts)
+    assert config.c1 >= config.c2
+    assert config.additive_bias >= 0
+    assert config.c1 == max(counts)
+    assert config.sorted_counts == tuple(sorted(counts, reverse=True))
+    assert 0 <= config.plurality < config.k
+    assert config.counts[config.plurality] == config.c1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    counts=st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=8),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_assignment_round_trip(counts, seed):
+    config = ColorConfiguration(counts)
+    colors = assignment_from_counts(config, rng=np.random.default_rng(seed))
+    assert counts_from_assignment(colors, k=config.k).counts == config.counts

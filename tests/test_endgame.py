@@ -1,0 +1,71 @@
+"""Tests for the isolated endgame (Section 3.2)."""
+
+import math
+
+import pytest
+
+from repro.protocols.endgame import near_consensus_start, run_endgame
+
+
+class TestNearConsensusStart:
+    def test_counts(self):
+        config = near_consensus_start(1000, 5, 0.1)
+        assert config.n == 1000
+        assert config.c1 == 900
+        assert config.k == 5
+        assert sum(config.counts[1:]) == 100
+
+    def test_minority_split_evenly(self):
+        config = near_consensus_start(1000, 5, 0.1)
+        minority = config.counts[1:]
+        assert max(minority) - min(minority) <= 1
+
+    def test_every_color_populated(self):
+        config = near_consensus_start(100, 10, 0.02)
+        assert all(c >= 1 for c in config.counts)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            near_consensus_start(100, 1, 0.1)
+        with pytest.raises(ValueError):
+            near_consensus_start(100, 5, 0.9)
+
+
+class TestRunEndgame:
+    def test_reaches_consensus_on_plurality(self):
+        config = near_consensus_start(500, 4, 0.1)
+        result = run_endgame(config, seed=1)
+        assert result.converged
+        assert result.winner == 0
+
+    def test_consensus_precedes_first_termination(self):
+        config = near_consensus_start(800, 4, 0.1)
+        ok = 0
+        for seed in range(5):
+            result = run_endgame(config, seed=seed)
+            if result.metadata["consensus_before_first_termination"]:
+                ok += 1
+        assert ok >= 4
+
+    def test_consensus_time_logarithmic_ballpark(self):
+        config = near_consensus_start(2000, 4, 0.1)
+        result = run_endgame(config, seed=3)
+        ct = result.metadata["first_consensus_parallel_time"]
+        assert ct is not None
+        assert ct <= 6 * math.log(2000)
+
+    def test_all_nodes_eventually_terminate(self):
+        config = near_consensus_start(300, 3, 0.1)
+        result = run_endgame(config, seed=2)
+        # budget per node is ceil(factor * ln n); total parallel time is
+        # bounded by a small multiple of it
+        assert result.metadata["endgame_ticks"] == math.ceil(10.0 * math.log(300))
+        assert result.parallel_time < 3 * result.metadata["endgame_ticks"] + 50
+
+    def test_metadata_times_ordered(self):
+        config = near_consensus_start(500, 4, 0.1)
+        result = run_endgame(config, seed=4)
+        ct = result.metadata["first_consensus_parallel_time"]
+        tt = result.metadata["first_termination_parallel_time"]
+        assert ct is not None and tt is not None
+        assert result.metadata["consensus_before_first_termination"] == (ct <= tt)

@@ -1,0 +1,90 @@
+"""Tests for the event queue and delay models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import ConfigurationError
+from repro.engine.delays import ExponentialDelay, FixedDelay, NoDelay
+from repro.engine.events import EventQueue
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        queue.push(3.0, "c")
+        queue.push(1.0, "a")
+        queue.push(2.0, "b")
+        assert [queue.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_stable_for_equal_times(self):
+        queue = EventQueue()
+        for label in "abcde":
+            queue.push(1.0, label)
+        assert [queue.pop()[1] for _ in range(5)] == list("abcde")
+
+    def test_peek(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(2.5, "x")
+        assert queue.peek_time() == 2.5
+        assert len(queue) == 1
+
+    def test_bool_and_len(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(0.0, None)
+        assert queue
+        queue.pop()
+        assert len(queue) == 0
+
+    def test_payloads_never_compared(self):
+        """Uncomparable payloads at equal times must not raise."""
+        queue = EventQueue()
+        queue.push(1.0, {"a": 1})
+        queue.push(1.0, {"b": 2})
+        queue.pop()
+        queue.pop()
+
+
+@settings(max_examples=50, deadline=None)
+@given(times=st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=50))
+def test_property_event_queue_sorted(times):
+    queue = EventQueue()
+    for t in times:
+        queue.push(t, None)
+    popped = [queue.pop()[0] for _ in range(len(times))]
+    assert popped == sorted(popped)
+
+
+class TestDelayModels:
+    def test_no_delay(self, rng):
+        model = NoDelay()
+        assert model.sample(rng) == 0.0
+        assert model.is_zero()
+
+    def test_fixed_delay(self, rng):
+        model = FixedDelay(0.7)
+        assert model.sample(rng) == 0.7
+        assert not model.is_zero()
+        assert FixedDelay(0.0).is_zero()
+
+    def test_fixed_delay_validation(self):
+        with pytest.raises(ConfigurationError):
+            FixedDelay(-1.0)
+
+    def test_exponential_mean(self, rng):
+        model = ExponentialDelay(rate=4.0)
+        samples = [model.sample(rng) for _ in range(4000)]
+        assert np.mean(samples) == pytest.approx(0.25, rel=0.15)
+        assert not model.is_zero()
+
+    def test_exponential_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialDelay(rate=0.0)
+
+    def test_reprs(self, rng):
+        assert "NoDelay" in repr(NoDelay())
+        assert "0.5" in repr(ExponentialDelay(0.5))
+        assert "0.2" in repr(FixedDelay(0.2))

@@ -1,0 +1,63 @@
+"""Smoke tests: every example script must run end to end.
+
+Each example accepts a size argument, so the tests run them small; the
+assertions check exit status and a recognisable line of output, keeping
+the examples honest as the API evolves.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def _run(script: str, *args: str, timeout: int = 240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def test_quickstart():
+    proc = _run("quickstart.py", "600", "4")
+    assert proc.returncode == 0, proc.stderr
+    assert "consensus on colour 0" in proc.stdout
+    assert "schedule:" in proc.stdout
+
+
+def test_sensor_swarm():
+    proc = _run("sensor_swarm.py", "800", "5")
+    assert proc.returncode == 0, proc.stderr
+    assert "phased protocol" in proc.stdout
+    assert "voter dynamics" in proc.stdout
+
+
+def test_protocol_faceoff():
+    proc = _run("protocol_faceoff.py", "30000")
+    assert proc.returncode == 0, proc.stderr
+    assert "one-extra-bit" in proc.stdout
+    assert "fastest" in proc.stdout
+
+
+def test_async_synchronizer():
+    proc = _run("async_synchronizer.py", "700")
+    assert proc.returncode == 0, proc.stderr
+    assert "gadget ON" in proc.stdout and "gadget OFF" in proc.stdout
+
+
+def test_broadcast_anatomy():
+    proc = _run("broadcast_anatomy.py", "20000")
+    assert proc.returncode == 0, proc.stderr
+    assert "push-pull" in proc.stdout
+
+
+def test_topology_tour():
+    proc = _run("topology_tour.py", "256")
+    assert proc.returncode == 0, proc.stderr
+    assert "hypercube" in proc.stdout
+    assert "ring" in proc.stdout

@@ -1,0 +1,85 @@
+"""Tests for the message-loss failure-injection wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core.colors import ColorConfiguration
+from repro.core.exceptions import ConfigurationError
+from repro.core.state import NodeArrayState
+from repro.engine.sequential import SequentialEngine
+from repro.graphs.complete import CompleteGraph
+from repro.protocols.lossy import LossyProtocol
+from repro.protocols.two_choices import TwoChoicesSequential
+from repro.protocols.voter import VoterSequential
+
+
+class TestWrapperMechanics:
+    def test_zero_loss_is_transparent(self, rng, small_clique):
+        inner = TwoChoicesSequential()
+        lossy = LossyProtocol(inner, 0.0)
+        colors = np.ones(16, dtype=np.int64)
+        colors[3] = 0
+        state = lossy.make_state(colors, k=2)
+        lossy.seq_tick(state, 3, small_clique, rng)
+        assert state.colors[3] == 1  # everyone else is colour 1
+
+    def test_total_loss_blocks_all_updates(self, small_clique):
+        # loss_probability must be < 1, so use 0.999... and force rng.
+        lossy = LossyProtocol(VoterSequential(), 0.999999)
+        rng = np.random.default_rng(0)
+        colors = np.ones(16, dtype=np.int64)
+        colors[0] = 0
+        state = lossy.make_state(colors, k=2)
+        for _ in range(50):
+            lossy.seq_tick(state, 0, small_clique, rng)
+        assert state.colors[0] == 0  # effectively nothing got through
+
+    def test_name_mentions_loss(self):
+        assert "loss(0.25)" in LossyProtocol(VoterSequential(), 0.25).name
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LossyProtocol(VoterSequential(), 1.0)
+        with pytest.raises(ConfigurationError):
+            LossyProtocol(VoterSequential(), -0.1)
+
+    def test_delegates_state_and_absorption(self):
+        lossy = LossyProtocol(TwoChoicesSequential(), 0.3)
+        state = lossy.make_state(np.zeros(5, dtype=np.int64), k=1)
+        assert isinstance(state, NodeArrayState)
+        assert lossy.is_absorbed(state)
+
+
+class TestLossSlowdown:
+    def test_still_converges_under_loss(self):
+        n = 300
+        engine = SequentialEngine(LossyProtocol(TwoChoicesSequential(), 0.3), CompleteGraph(n))
+        result = engine.run(ColorConfiguration([220, 80]), seed=1)
+        assert result.converged
+        assert result.winner == 0
+
+    def test_slowdown_matches_effective_tick_rate(self):
+        """With loss p, a Two-Choices tick completes w.p. (1-p)^2, so
+        consensus time inflates by ~1/(1-p)^2 (here ~2.04x for p=0.3)."""
+        n = 400
+        config = ColorConfiguration([300, 100])
+        trials = 8
+        base_engine = SequentialEngine(TwoChoicesSequential(), CompleteGraph(n))
+        lossy_engine = SequentialEngine(LossyProtocol(TwoChoicesSequential(), 0.3), CompleteGraph(n))
+        base = np.mean([base_engine.run(config, seed=s).parallel_time for s in range(trials)])
+        lossy = np.mean([lossy_engine.run(config, seed=100 + s).parallel_time for s in range(trials)])
+        inflation = lossy / base
+        assert 1.4 < inflation < 3.2  # centred on 1/(0.7^2) ~ 2.04
+
+    def test_voter_lottery_unbiased_by_loss(self):
+        """Loss delays voter but must not bias which colour wins."""
+        n = 60
+        config = ColorConfiguration([30, 30])
+        engine = SequentialEngine(LossyProtocol(VoterSequential(), 0.4), CompleteGraph(n))
+        wins = 0
+        trials = 40
+        for seed in range(trials):
+            result = engine.run(config, seed=seed, max_ticks=400_000)
+            if result.converged and result.winner == 0:
+                wins += 1
+        assert abs(wins / trials - 0.5) < 0.3

@@ -1,0 +1,100 @@
+"""Tests for the martingale/drift diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.martingale import (
+    azuma_hoeffding_bound,
+    empirical_drift,
+    increment_means,
+    is_supermartingale_like,
+    max_increment_mean,
+)
+from repro.core.exceptions import ConfigurationError
+
+
+def _random_walk_paths(runs, steps, drift, seed):
+    rng = np.random.default_rng(seed)
+    increments = rng.normal(drift, 1.0, size=(runs, steps))
+    return np.concatenate([np.zeros((runs, 1)), np.cumsum(increments, axis=1)], axis=1)
+
+
+class TestIncrementMeans:
+    def test_zero_for_martingale(self):
+        paths = _random_walk_paths(2000, 30, drift=0.0, seed=1)
+        means = increment_means(paths)
+        assert means.shape == (30,)
+        assert np.abs(means).max() < 0.12  # ~5 sigma of 1/sqrt(2000)
+
+    def test_detects_drift(self):
+        paths = _random_walk_paths(2000, 30, drift=0.5, seed=2)
+        assert increment_means(paths).min() > 0.3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            increment_means(np.zeros((5,)))
+        with pytest.raises(ConfigurationError):
+            increment_means(np.zeros((5, 1)))
+
+    def test_max_increment_mean(self):
+        paths = _random_walk_paths(500, 10, drift=-0.4, seed=3)
+        assert max_increment_mean(paths) > 0.2
+
+
+class TestAzuma:
+    def test_bound_in_unit_interval(self):
+        assert 0 < azuma_hoeffding_bound(1.0, 100, 5.0) <= 1.0
+
+    def test_tighter_for_larger_deviation(self):
+        small = azuma_hoeffding_bound(1.0, 100, 5.0)
+        large = azuma_hoeffding_bound(1.0, 100, 30.0)
+        assert large < small
+
+    def test_capped_at_one(self):
+        assert azuma_hoeffding_bound(10.0, 10, 0.001) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            azuma_hoeffding_bound(0.0, 10, 1.0)
+        with pytest.raises(ConfigurationError):
+            azuma_hoeffding_bound(1.0, 0, 1.0)
+
+    def test_empirically_valid_for_bounded_martingale(self):
+        """The bound must dominate the empirical tail of a +-c walk."""
+        rng = np.random.default_rng(4)
+        steps, runs, c = 64, 4000, 1.0
+        walks = np.cumsum(rng.choice([-c, c], size=(runs, steps)), axis=1)
+        deviation = 2.0 * np.sqrt(steps)
+        empirical = float(np.mean(np.abs(walks[:, -1]) >= deviation))
+        assert empirical <= azuma_hoeffding_bound(c, steps, deviation)
+
+
+class TestDrift:
+    def test_detects_negative_drift(self):
+        paths = _random_walk_paths(200, 50, drift=-0.3, seed=5)
+        mean, sem = empirical_drift(paths)
+        assert mean < -0.2
+        assert sem < 0.05
+
+    def test_zero_drift(self):
+        paths = _random_walk_paths(500, 50, drift=0.0, seed=6)
+        mean, sem = empirical_drift(paths)
+        assert abs(mean) < 4 * sem + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            empirical_drift(np.zeros((3, 1)))
+
+
+class TestSupermartingaleCheck:
+    def test_accepts_martingale(self):
+        paths = _random_walk_paths(1500, 20, drift=0.0, seed=7)
+        assert is_supermartingale_like(paths)
+
+    def test_accepts_supermartingale(self):
+        paths = _random_walk_paths(1500, 20, drift=-0.5, seed=8)
+        assert is_supermartingale_like(paths)
+
+    def test_rejects_submartingale(self):
+        paths = _random_walk_paths(1500, 20, drift=0.5, seed=9)
+        assert not is_supermartingale_like(paths)

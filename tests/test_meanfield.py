@@ -1,0 +1,133 @@
+"""Tests for the mean-field dynamics module."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.meanfield import (
+    MEAN_FIELD_MAPS,
+    iterate_map,
+    rounds_to_dominance,
+    three_majority_map,
+    two_choices_map,
+    undecided_state_map,
+    voter_map,
+)
+from repro.core.colors import ColorConfiguration
+from repro.core.exceptions import ConfigurationError
+from repro.engine.counts import CountsEngine
+from repro.protocols.two_choices import TwoChoicesCounts
+
+
+class TestMapBasics:
+    def test_all_maps_preserve_simplex(self):
+        p = np.array([0.5, 0.3, 0.2])
+        for name, step in MEAN_FIELD_MAPS.items():
+            arg = np.append(p * 0.9, 0.1) if name == "undecided-state" else p
+            out = step(arg)
+            assert out.sum() == pytest.approx(1.0, abs=1e-12), name
+            assert (out >= -1e-12).all(), name
+
+    def test_voter_is_identity(self):
+        p = [0.6, 0.4]
+        assert voter_map(p).tolist() == pytest.approx(p)
+
+    def test_two_choices_amplifies_leader(self):
+        p = np.array([0.6, 0.4])
+        out = two_choices_map(p)
+        assert out[0] > 0.6
+        assert out[1] < 0.4
+
+    def test_two_choices_consensus_fixed_point(self):
+        out = two_choices_map([1.0, 0.0])
+        assert out.tolist() == [1.0, 0.0]
+
+    def test_two_choices_uniform_fixed_point_unstable(self):
+        """Exactly uniform is a fixed point; any tilt escapes it."""
+        uniform = np.full(4, 0.25)
+        assert two_choices_map(uniform).tolist() == pytest.approx(uniform.tolist())
+        tilted = np.array([0.26, 0.25, 0.25, 0.24])
+        out = two_choices_map(tilted)
+        assert out[0] > 0.26
+
+    def test_three_majority_equals_two_choices_drift(self):
+        """The well-known coincidence: same mean-field map."""
+        p = np.array([0.45, 0.35, 0.2])
+        assert three_majority_map(p).tolist() == pytest.approx(two_choices_map(p).tolist())
+
+    def test_usd_conserves_and_feeds_undecided(self):
+        p = np.array([0.5, 0.4, 0.1])  # two colours + undecided mass
+        out = undecided_state_map(p)
+        assert out.sum() == pytest.approx(1.0)
+        assert out[-1] > 0  # conflicting samples generate undecided mass
+
+    def test_usd_consensus_fixed_point(self):
+        out = undecided_state_map([1.0, 0.0, 0.0])
+        assert out.tolist() == pytest.approx([1.0, 0.0, 0.0])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            two_choices_map([0.5, 0.4])  # does not sum to 1
+        with pytest.raises(ConfigurationError):
+            two_choices_map([1.5, -0.5])
+        with pytest.raises(ConfigurationError):
+            undecided_state_map([1.0])
+
+
+class TestIteration:
+    def test_trajectory_shape(self):
+        trajectory = iterate_map(two_choices_map, [0.6, 0.4], rounds=10)
+        assert trajectory.shape == (11, 2)
+        assert trajectory[0].tolist() == [0.6, 0.4]
+
+    def test_two_choices_converges_to_consensus(self):
+        trajectory = iterate_map(two_choices_map, [0.55, 0.45], rounds=60)
+        assert trajectory[-1][0] > 0.999
+
+    def test_negative_rounds(self):
+        with pytest.raises(ConfigurationError):
+            iterate_map(voter_map, [1.0], rounds=-1)
+
+
+class TestRoundsToDominance:
+    def test_counts_rounds(self):
+        rounds = rounds_to_dominance(two_choices_map, [0.6, 0.4], threshold=0.99)
+        assert 5 < rounds < 60
+
+    def test_voter_stalls(self):
+        assert rounds_to_dominance(voter_map, [0.6, 0.4]) is None
+
+    def test_tied_start_stalls(self):
+        assert rounds_to_dominance(two_choices_map, [0.5, 0.5]) is None
+
+    def test_already_dominant(self):
+        assert rounds_to_dominance(two_choices_map, [0.995, 0.005]) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            rounds_to_dominance(two_choices_map, [0.6, 0.4], threshold=0.0)
+
+
+class TestAgainstStochasticProcess:
+    def test_large_n_counts_track_mean_field(self):
+        """LLN: at n = 10^6 the stochastic fractions follow the map."""
+        n = 1_000_000
+        config = ColorConfiguration([600_000, 400_000])
+        protocol = TwoChoicesCounts()
+        rng = np.random.default_rng(5)
+        counts = protocol.init_counts(config)
+        fractions = np.array([0.6, 0.4])
+        for _ in range(8):
+            counts = protocol.step(counts, rng)
+            fractions = two_choices_map(fractions)
+            measured = counts / n
+            assert abs(measured[0] - fractions[0]) < 0.003
+
+    def test_mean_field_predicts_round_count_scale(self):
+        """The deterministic predictor lands within ~2x of measured."""
+        n = 200_000
+        config = ColorConfiguration([120_000, 80_000])
+        predicted = rounds_to_dominance(two_choices_map, [0.6, 0.4], threshold=1 - 2 / n)
+        engine = CountsEngine(TwoChoicesCounts())
+        measured = np.mean([engine.run(config, seed=s).rounds for s in range(5)])
+        assert predicted is not None
+        assert predicted / 2 <= measured <= predicted * 2

@@ -1,0 +1,159 @@
+"""Tests for the OneExtraBit protocol (Theorem 1.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.colors import ColorConfiguration
+from repro.core.exceptions import ConfigurationError
+from repro.engine.counts import CountsEngine
+from repro.engine.synchronous import SynchronousEngine
+from repro.graphs.complete import CompleteGraph
+from repro.protocols.one_extra_bit import (
+    OneExtraBitCounts,
+    OneExtraBitCountsState,
+    OneExtraBitSynchronous,
+    default_bp_rounds,
+)
+
+
+class TestDefaultBpRounds:
+    def test_grows_with_k(self):
+        assert default_bp_rounds(10_000, 64) > default_bp_rounds(10_000, 2)
+
+    def test_grows_slowly_with_n(self):
+        assert default_bp_rounds(10**9, 2) <= default_bp_rounds(10**3, 2) + 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            default_bp_rounds(1, 2)
+        with pytest.raises(ConfigurationError):
+            default_bp_rounds(100, 0)
+
+    def test_respects_extra(self):
+        assert default_bp_rounds(1000, 4, extra=5) == default_bp_rounds(1000, 4, extra=2) + 3
+
+
+class TestAgentBased:
+    def test_state_has_bit_and_round_index(self):
+        protocol = OneExtraBitSynchronous()
+        state = protocol.make_state(np.array([0, 1, 1, 0]), k=2)
+        assert not state.bit.any()
+        assert state.round_index == 0
+
+    def test_tc_round_sets_bits_on_agreement(self, rng):
+        protocol = OneExtraBitSynchronous(bp_rounds=3)
+        # Unanimous population: both samples always agree.
+        state = protocol.make_state(np.zeros(30, dtype=np.int64), k=2)
+        protocol.round_update(state, CompleteGraph(30), rng)
+        assert state.bit.all()
+        assert state.round_index == 1
+
+    def test_bp_round_spreads_bits(self, rng):
+        protocol = OneExtraBitSynchronous(bp_rounds=3)
+        state = protocol.make_state(np.array([0] * 20 + [1] * 20), k=2)
+        state.round_index = 1  # force a bit-propagation round
+        state.bit[:5] = True
+        before = state.bit.sum()
+        protocol.round_update(state, CompleteGraph(40), rng)
+        assert state.bit.sum() >= before  # bits never disappear during BP
+
+    def test_bp_adopters_copy_bit_holder_colors(self, rng):
+        protocol = OneExtraBitSynchronous(bp_rounds=3)
+        state = protocol.make_state(np.array([0] * 20 + [1] * 20), k=2)
+        state.round_index = 1
+        state.bit[:20] = True  # exactly the colour-0 nodes carry the bit
+        protocol.round_update(state, CompleteGraph(40), rng)
+        adopters = state.bit[20:]
+        assert (state.colors[20:][adopters] == 0).all()
+
+    def test_full_run_converges(self):
+        engine = SynchronousEngine(OneExtraBitSynchronous(), CompleteGraph(400))
+        result = engine.run(ColorConfiguration([250, 100, 50]), seed=3, max_rounds=500)
+        assert result.converged
+        assert result.winner == 0
+
+    def test_bp_rounds_validation(self):
+        with pytest.raises(ConfigurationError):
+            OneExtraBitSynchronous(bp_rounds=0)
+
+
+class TestCountsBased:
+    def test_init_state(self):
+        protocol = OneExtraBitCounts()
+        state = protocol.init_counts(ColorConfiguration([70, 30]))
+        assert state.bit_set.tolist() == [0, 0]
+        assert state.bit_unset.tolist() == [70, 30]
+        assert state.round_index == 0
+
+    def test_population_conserved_over_phases(self, rng):
+        protocol = OneExtraBitCounts(bp_rounds=4)
+        state = protocol.init_counts(ColorConfiguration([600, 300, 100]))
+        for _ in range(25):
+            state = protocol.step(state, rng)
+            assert int(state.total.sum()) == 1000
+            assert (state.bit_set >= 0).all() and (state.bit_unset >= 0).all()
+
+    def test_tc_step_bit_count_concentrates(self, rng):
+        """After one TC round, bit-set colour-1 mass ~ c1^2/n (the
+        concentration Section 2 states)."""
+        protocol = OneExtraBitCounts(bp_rounds=4)
+        n, c1 = 100_000, 60_000
+        state = protocol.init_counts(ColorConfiguration([c1, n - c1]))
+        samples = []
+        for _ in range(30):
+            stepped = protocol._two_choices_step(state, rng)
+            samples.append(int(stepped.bit_set[0]))
+        expected = c1**2 / n
+        assert np.mean(samples) == pytest.approx(expected, rel=0.02)
+
+    def test_bp_step_grows_bits(self, rng):
+        protocol = OneExtraBitCounts(bp_rounds=4)
+        state = OneExtraBitCountsState(
+            bit_set=np.array([100, 20]),
+            bit_unset=np.array([500, 380]),
+            round_index=1,
+        )
+        stepped = protocol._bit_propagation_step(state, rng)
+        assert int(stepped.bit_set.sum()) >= 120
+        assert int(stepped.total.sum()) == 1000
+
+    def test_full_run_converges_faster_than_two_choices_at_large_k(self):
+        """The headline of Theorem 1.2 at a small scale."""
+        from repro.protocols.two_choices import TwoChoicesCounts
+        from repro.workloads.initial import theorem_1_1_gap
+
+        config = theorem_1_1_gap(200_000, 64, z=1.0)
+        tc = CountsEngine(TwoChoicesCounts()).run(config, seed=1)
+        oeb = CountsEngine(OneExtraBitCounts()).run(config, seed=1)
+        assert tc.converged and oeb.converged
+        assert tc.winner == 0 and oeb.winner == 0
+
+    def test_agrees_with_agent_based_tc_round(self):
+        """One TC round: counts-level and agent-level bit totals agree."""
+        n = 500
+        trials = 200
+        agent_rng = np.random.default_rng(11)
+        counts_rng = np.random.default_rng(12)
+        graph = CompleteGraph(n)
+        agent = OneExtraBitSynchronous(bp_rounds=3)
+        counts = OneExtraBitCounts(bp_rounds=3)
+        agent_bits, counts_bits = [], []
+        colors = np.array([0] * 300 + [1] * 200)
+        for _ in range(trials):
+            state = agent.make_state(colors.copy(), k=2)
+            agent.round_update(state, graph, agent_rng)
+            agent_bits.append(int(state.bit.sum()))
+            cstate = counts.init_counts(ColorConfiguration([300, 200]))
+            cstate = counts.step(cstate, counts_rng)
+            counts_bits.append(int(cstate.bit_set.sum()))
+        pooled_sem = np.sqrt((np.var(agent_bits) + np.var(counts_bits)) / trials)
+        assert abs(np.mean(agent_bits) - np.mean(counts_bits)) < 4 * pooled_sem + 1e-9
+
+    def test_color_counts_projection(self):
+        state = OneExtraBitCountsState(bit_set=np.array([5, 1]), bit_unset=np.array([10, 4]))
+        protocol = OneExtraBitCounts()
+        assert protocol.color_counts(state).tolist() == [15, 5]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OneExtraBitCounts(bp_rounds=0)

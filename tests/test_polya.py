@@ -1,0 +1,137 @@
+"""Tests for the Pólya urn module."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.polya import PolyaUrn, limit_beta_parameters, limit_fraction_variance
+from repro.core.exceptions import ConfigurationError
+
+
+class TestConstruction:
+    def test_basic(self):
+        urn = PolyaUrn([3, 2])
+        assert urn.k == 2
+        assert urn.total == 5
+        assert urn.fractions().tolist() == [0.6, 0.4]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PolyaUrn([])
+        with pytest.raises(ConfigurationError):
+            PolyaUrn([0, 0])
+        with pytest.raises(ConfigurationError):
+            PolyaUrn([-1, 2])
+        with pytest.raises(ConfigurationError):
+            PolyaUrn([1, 1], reinforcement=0)
+
+
+class TestDynamics:
+    def test_step_adds_reinforcement(self, rng):
+        urn = PolyaUrn([5, 5], reinforcement=3)
+        color = urn.step(rng)
+        assert urn.total == 13
+        assert urn.counts[color] >= 8
+        assert urn.draws == 1
+
+    def test_run_total_growth(self):
+        urn = PolyaUrn([2, 2])
+        urn.run(100, seed=1)
+        assert urn.total == 104
+        assert urn.draws == 100
+
+    def test_run_records_history(self):
+        urn = PolyaUrn([2, 2])
+        history = urn.run(10, seed=2, record_every=5)
+        assert history.shape == (3, 2)  # initial + 2 snapshots
+        assert np.allclose(history.sum(axis=1), 1.0)
+
+    def test_run_without_recording_returns_none(self):
+        assert PolyaUrn([1, 1]).run(5, seed=3) is None
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PolyaUrn([1, 1]).run(-1)
+
+    def test_reset(self):
+        urn = PolyaUrn([4, 6])
+        urn.run(50, seed=4)
+        urn.reset()
+        assert urn.total == 10
+        assert urn.draws == 0
+        assert urn.counts.tolist() == [4, 6]
+
+    def test_deterministic_given_seed(self):
+        a = PolyaUrn([3, 7])
+        b = PolyaUrn([3, 7])
+        a.run(200, seed=9)
+        b.run(200, seed=9)
+        assert a.counts.tolist() == b.counts.tolist()
+
+    def test_monochromatic_urn_stays_monochromatic(self):
+        urn = PolyaUrn([10, 0])
+        urn.run(50, seed=5)
+        assert urn.counts[1] == 0
+
+
+class TestMartingaleProperty:
+    def test_fraction_mean_is_preserved(self):
+        """E[fraction after m draws] equals the initial fraction — the
+        core property Bit-Propagation relies on."""
+        initial = [30, 70]
+        draws = 200
+        trials = 400
+        finals = []
+        for seed in range(trials):
+            urn = PolyaUrn(initial)
+            urn.run(draws, seed=seed)
+            finals.append(urn.fractions()[0])
+        sem = np.std(finals, ddof=1) / np.sqrt(trials)
+        assert abs(np.mean(finals) - 0.3) < 4 * sem + 1e-9
+
+    def test_variance_below_beta_limit(self):
+        initial = [50, 150]
+        trials = 300
+        finals = []
+        for seed in range(trials):
+            urn = PolyaUrn(initial)
+            urn.run(400, seed=seed)
+            finals.append(urn.fractions()[0])
+        limit = np.sqrt(limit_fraction_variance(initial, 0))
+        assert np.std(finals, ddof=1) <= 1.5 * limit
+
+
+class TestLimitFormulas:
+    def test_beta_parameters(self):
+        a, b = limit_beta_parameters([4, 6], 0)
+        assert (a, b) == (4.0, 6.0)
+
+    def test_beta_parameters_with_reinforcement(self):
+        a, b = limit_beta_parameters([4, 6], 1, reinforcement=2)
+        assert (a, b) == (3.0, 2.0)
+
+    def test_beta_parameters_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            limit_beta_parameters([4, 6], 2)
+
+    def test_limit_variance_formula(self):
+        # Beta(a, b) variance = ab / ((a+b)^2 (a+b+1)); here p=a/(a+b).
+        value = limit_fraction_variance([3, 7], 0)
+        a, b = 3.0, 7.0
+        expected = (a * b) / ((a + b) ** 2 * (a + b + 1))
+        assert value == pytest.approx(expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    counts=st.lists(st.integers(min_value=1, max_value=40), min_size=2, max_size=6),
+    steps=st.integers(min_value=0, max_value=100),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_total_growth_and_conservation(counts, steps, seed):
+    urn = PolyaUrn(counts)
+    start_total = urn.total
+    urn.run(steps, seed=seed)
+    assert urn.total == start_total + steps
+    assert (urn.counts >= np.array(counts) - 0).all()  # counts never shrink

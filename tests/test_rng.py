@@ -1,0 +1,86 @@
+"""Tests for repro.core.rng."""
+
+import numpy as np
+import pytest
+
+from repro.core.rng import as_generator, random_seed, spawn_seeds, split
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = as_generator(42).integers(0, 1_000_000, size=10)
+        b = as_generator(42).integers(0, 1_000_000, size=10)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 1_000_000, size=10)
+        b = as_generator(2).integers(0, 1_000_000, size=10)
+        assert not (a == b).all()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        gen = as_generator(np.random.SeedSequence(7))
+        assert isinstance(gen, np.random.Generator)
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            as_generator("not-a-seed")
+
+    def test_numpy_integer_accepted(self):
+        gen = as_generator(np.int64(5))
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSplit:
+    def test_same_key_same_stream(self):
+        a = split(42, "clock").integers(0, 10**9, size=5)
+        b = split(42, "clock").integers(0, 10**9, size=5)
+        assert (a == b).all()
+
+    def test_different_keys_differ(self):
+        a = split(42, "clock").integers(0, 10**9, size=5)
+        b = split(42, "sampling").integers(0, 10**9, size=5)
+        assert not (a == b).all()
+
+    def test_child_differs_from_parent(self):
+        parent = as_generator(42).integers(0, 10**9, size=5)
+        child = split(42, "clock").integers(0, 10**9, size=5)
+        assert not (parent == child).all()
+
+    def test_split_from_generator(self):
+        gen = np.random.default_rng(3)
+        child = split(gen, "anything")
+        assert isinstance(child, np.random.Generator)
+
+
+class TestSpawnSeeds:
+    def test_count_and_type(self):
+        seeds = spawn_seeds(7, 5)
+        assert len(seeds) == 5
+        assert all(isinstance(s, int) for s in seeds)
+
+    def test_deterministic(self):
+        assert spawn_seeds(7, 5) == spawn_seeds(7, 5)
+
+    def test_distinct(self):
+        seeds = spawn_seeds(7, 100)
+        assert len(set(seeds)) == 100
+
+    def test_zero_count(self):
+        assert spawn_seeds(7, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(7, -1)
+
+
+def test_random_seed_is_int():
+    seed = random_seed()
+    assert isinstance(seed, int)
+    assert seed >= 0

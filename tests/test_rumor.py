@@ -1,0 +1,125 @@
+"""Tests for the rumour-spreading substrate."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.graphs.complete import CompleteGraph
+from repro.graphs.sparse import ring
+from repro.protocols.rumor import RumorState, spread_rumor_agents, spread_rumor_counts
+
+
+class TestRumorState:
+    def test_basic(self):
+        state = RumorState(informed=np.array([True, False, False]))
+        assert state.n == 3
+        assert state.count == 1
+        assert not state.all_informed()
+
+    def test_requires_a_source(self):
+        with pytest.raises(ConfigurationError):
+            RumorState(informed=np.zeros(3, dtype=bool))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            RumorState(informed=np.zeros(0, dtype=bool))
+
+
+class TestAgentsOnClique:
+    @pytest.mark.parametrize("mode", ["push", "pull", "push-pull"])
+    def test_completes(self, mode):
+        result = spread_rumor_agents(CompleteGraph(500), mode=mode, seed=1)
+        assert result.converged
+        assert result.final.counts[0] == 500
+        assert result.rounds >= math.log2(500) - 1  # cannot beat doubling
+
+    def test_trace_monotone(self):
+        result = spread_rumor_agents(CompleteGraph(300), mode="push-pull", seed=2)
+        informed = result.trace.count_matrix()[:, 0]
+        assert (np.diff(informed) >= 0).all()
+        assert informed[0] == 1 and informed[-1] == 300
+
+    def test_doubling_early_growth(self):
+        """Push-pull at least doubles the informed set per early round."""
+        result = spread_rumor_agents(CompleteGraph(4000), mode="push-pull", seed=3)
+        informed = result.trace.count_matrix()[:, 0]
+        early = informed[: len(informed) // 2]
+        ratios = early[1:] / early[:-1]
+        assert np.median(ratios) >= 1.8
+
+    def test_invalid_mode(self):
+        with pytest.raises(ConfigurationError):
+            spread_rumor_agents(CompleteGraph(10), mode="shout")
+
+    def test_invalid_source(self):
+        with pytest.raises(ConfigurationError):
+            spread_rumor_agents(CompleteGraph(10), source=10)
+
+    def test_max_rounds_budget(self):
+        result = spread_rumor_agents(ring(2000), mode="push", max_rounds=3, seed=4)
+        assert not result.converged
+        assert result.rounds == 3
+
+    def test_ring_is_slow(self):
+        """On a ring the rumour moves O(1) hops per round — linear time,
+        a useful contrast to the clique's doubling."""
+        clique = spread_rumor_agents(CompleteGraph(256), mode="push", seed=5)
+        circle = spread_rumor_agents(ring(256), mode="push", seed=5, max_rounds=5_000)
+        assert circle.rounds > 4 * clique.rounds
+
+
+class TestCountsOnClique:
+    @pytest.mark.parametrize("mode", ["push", "pull", "push-pull"])
+    def test_completes(self, mode):
+        result = spread_rumor_counts(100_000, mode=mode, seed=1)
+        assert result.converged
+        assert result.rounds < 80
+
+    def test_population_conserved(self):
+        result = spread_rumor_counts(10_000, seed=2)
+        matrix = result.trace.count_matrix()
+        assert (matrix.sum(axis=1) == 10_000).all()
+        assert (np.diff(matrix[:, 0]) >= 0).all()
+
+    def test_logarithmic_scaling(self):
+        rounds = []
+        for n in (10_000, 1_000_000):
+            values = [spread_rumor_counts(n, mode="push-pull", seed=s).rounds for s in range(5)]
+            rounds.append(np.mean(values))
+        # x100 in n should cost ~log(100)/log(n) extra, nowhere near x100.
+        assert rounds[1] < rounds[0] * 2
+
+    def test_agrees_with_agents_distribution(self):
+        """Counts-level and agent-level push must have the same round
+        distribution (loose statistical agreement)."""
+        n, trials = 2_000, 30
+        agent_rounds = [
+            spread_rumor_agents(CompleteGraph(n), mode="push", seed=s, record_trace=False).rounds
+            for s in range(trials)
+        ]
+        counts_rounds = [
+            spread_rumor_counts(n, mode="push", seed=1_000 + s, record_trace=False).rounds
+            for s in range(trials)
+        ]
+        pooled_sem = np.sqrt((np.var(agent_rounds) + np.var(counts_rounds)) / trials)
+        assert abs(np.mean(agent_rounds) - np.mean(counts_rounds)) < 4 * pooled_sem + 0.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            spread_rumor_counts(1)
+        with pytest.raises(ConfigurationError):
+            spread_rumor_counts(10, initial_informed=0)
+        with pytest.raises(ConfigurationError):
+            spread_rumor_counts(10, mode="gossip")
+
+    def test_all_informed_start(self):
+        result = spread_rumor_counts(100, initial_informed=100, seed=3)
+        assert result.converged
+        assert result.rounds == 0
+
+    def test_push_pull_beats_push(self):
+        push = np.mean([spread_rumor_counts(500_000, mode="push", seed=s).rounds for s in range(5)])
+        both = np.mean([spread_rumor_counts(500_000, mode="push-pull", seed=s).rounds for s in range(5)])
+        assert both < push

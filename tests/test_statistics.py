@@ -1,0 +1,141 @@
+"""Tests for repro.analysis.statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.statistics import (
+    SuccessEstimate,
+    bootstrap_mean_ci,
+    estimate_success,
+    fit_log_slope,
+    fit_power_law,
+    summarize,
+    wilson_interval,
+)
+from repro.core.exceptions import ConfigurationError
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(80, 100)
+        assert low < 0.8 < high
+
+    def test_extreme_counts(self):
+        low, high = wilson_interval(0, 50)
+        assert low == 0.0 and high > 0
+        low, high = wilson_interval(50, 50)
+        assert high == 1.0 and low < 1.0
+
+    def test_narrows_with_trials(self):
+        narrow = wilson_interval(800, 1000)
+        wide = wilson_interval(8, 10)
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            wilson_interval(5, 0)
+        with pytest.raises(ConfigurationError):
+            wilson_interval(11, 10)
+
+    def test_coverage_calibration(self):
+        """~95% of Wilson intervals cover the true p."""
+        rng = np.random.default_rng(0)
+        p, trials, reps = 0.3, 60, 800
+        covered = 0
+        for _ in range(reps):
+            successes = rng.binomial(trials, p)
+            low, high = wilson_interval(int(successes), trials)
+            covered += int(low <= p <= high)
+        assert covered / reps >= 0.90
+
+
+class TestEstimateSuccess:
+    def test_summary(self):
+        estimate = estimate_success([True] * 9 + [False])
+        assert estimate.successes == 9
+        assert estimate.trials == 10
+        assert estimate.rate == 0.9
+        assert estimate.low < 0.9 < estimate.high
+
+    def test_excludes(self):
+        estimate = estimate_success([True] * 99 + [False])
+        assert estimate.excludes(0.5)
+        assert not estimate.excludes(0.99)
+
+
+class TestPowerLawFit:
+    def test_exact_recovery(self):
+        x = [1.0, 2.0, 4.0, 8.0]
+        y = [3.0 * v**1.5 for v in x]
+        alpha, constant = fit_power_law(x, y)
+        assert alpha == pytest.approx(1.5)
+        assert constant == pytest.approx(3.0)
+
+    def test_flat_line(self):
+        alpha, _ = fit_power_law([1, 10, 100], [5, 5, 5])
+        assert alpha == pytest.approx(0.0, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            fit_power_law([1], [2])
+        with pytest.raises(ConfigurationError):
+            fit_power_law([1, 2], [0, 1])
+        with pytest.raises(ConfigurationError):
+            fit_power_law([1, 2], [1, 2, 3])
+
+
+class TestLogSlope:
+    def test_exact_recovery(self):
+        x = [np.e**1, np.e**2, np.e**3]
+        y = [2.0 * 1 + 5, 2.0 * 2 + 5, 2.0 * 3 + 5]
+        assert fit_log_slope(x, y) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            fit_log_slope([0, 1], [1, 2])
+
+
+class TestBootstrap:
+    def test_mean_inside_interval(self):
+        values = list(np.random.default_rng(1).normal(10, 2, size=60))
+        mean, low, high = bootstrap_mean_ci(values, seed=2)
+        assert low <= mean <= high
+        assert mean == pytest.approx(np.mean(values))
+
+    def test_deterministic_given_seed(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert bootstrap_mean_ci(values, seed=7) == bootstrap_mean_ci(values, seed=7)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_mean_ci([])
+
+
+class TestSummarize:
+    def test_fields(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary["count"] == 3
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["median"] == pytest.approx(2.0)
+        assert summary["min"] == 1.0 and summary["max"] == 3.0
+
+    def test_single_value_std_zero(self):
+        assert summarize([5.0])["std"] == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    successes=st.integers(min_value=0, max_value=200),
+    trials=st.integers(min_value=1, max_value=200),
+)
+def test_property_wilson_bounds(successes, trials):
+    successes = min(successes, trials)
+    low, high = wilson_interval(successes, trials)
+    assert 0.0 <= low <= high <= 1.0
+    assert low <= successes / trials <= high

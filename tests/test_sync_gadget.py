@@ -1,0 +1,101 @@
+"""Tests for the Sync Gadget primitives."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.sync_gadget import SyncSampleBuffer, jump_target, median_of_samples
+
+
+class TestBuffer:
+    def test_collect_and_age(self):
+        buffer = SyncSampleBuffer()
+        # Sample value 100 collected when our real time was 40 ...
+        buffer.collect(phase=0, sampled_real_time=100, own_real_time=40)
+        # ... aged to our real time 55 gives 100 + (55 - 40) = 115.
+        assert buffer.aged_samples(own_real_time=55) == [115]
+
+    def test_multiple_samples_age_independently(self):
+        buffer = SyncSampleBuffer()
+        buffer.collect(0, 100, 40)
+        buffer.collect(0, 90, 45)
+        assert sorted(buffer.aged_samples(50)) == sorted([110, 95])
+
+    def test_new_phase_clears_stale_samples(self):
+        buffer = SyncSampleBuffer()
+        buffer.collect(0, 100, 40)
+        buffer.collect(1, 200, 60)
+        assert buffer.phase == 1
+        assert len(buffer) == 1
+        assert buffer.aged_samples(60) == [200]
+
+    def test_clear(self):
+        buffer = SyncSampleBuffer()
+        buffer.collect(0, 10, 0)
+        buffer.clear()
+        assert len(buffer) == 0
+        assert buffer.phase == -1
+
+
+class TestMedian:
+    def test_odd(self):
+        assert median_of_samples([3, 1, 2]) == 2
+
+    def test_even_takes_lower(self):
+        assert median_of_samples([1, 2, 3, 4]) == 2
+
+    def test_single(self):
+        assert median_of_samples([7]) == 7
+
+    def test_robust_to_outliers(self):
+        assert median_of_samples([5, 5, 5, 5, 10**9]) == 5
+
+
+class TestJumpTarget:
+    def test_basic_jump(self):
+        buffer = SyncSampleBuffer()
+        for value in (98, 100, 102):
+            buffer.collect(phase=2, sampled_real_time=value, own_real_time=100)
+        target = jump_target(buffer, phase=2, own_real_time=100, sync_start=50)
+        assert target == 100
+
+    def test_ageing_applied_at_jump(self):
+        buffer = SyncSampleBuffer()
+        buffer.collect(phase=0, sampled_real_time=100, own_real_time=90)
+        # ten more own ticks: aged sample = 110
+        target = jump_target(buffer, phase=0, own_real_time=100, sync_start=0)
+        assert target == 110
+
+    def test_clamped_from_below(self):
+        """A speeder told to go far back is clamped to the sync start,
+        so it never re-runs the phase's Two-Choices/Bit-Propagation."""
+        buffer = SyncSampleBuffer()
+        buffer.collect(phase=1, sampled_real_time=10, own_real_time=10)
+        target = jump_target(buffer, phase=1, own_real_time=10, sync_start=80)
+        assert target == 80
+
+    def test_none_without_samples(self):
+        assert jump_target(SyncSampleBuffer(), phase=0, own_real_time=5, sync_start=0) is None
+
+    def test_none_for_stale_phase(self):
+        buffer = SyncSampleBuffer()
+        buffer.collect(phase=0, sampled_real_time=50, own_real_time=50)
+        assert jump_target(buffer, phase=1, own_real_time=60, sync_start=0) is None
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    samples=st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=30),
+    own_rt=st.integers(min_value=0, max_value=10**6),
+    elapsed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_ageing_shifts_median_exactly(samples, own_rt, elapsed):
+    """Ageing by `elapsed` own ticks shifts every sample — and hence the
+    median — by exactly `elapsed`."""
+    buffer = SyncSampleBuffer()
+    for s in samples:
+        buffer.collect(0, s, own_rt)
+    before = median_of_samples(buffer.aged_samples(own_rt))
+    after = median_of_samples(buffer.aged_samples(own_rt + elapsed))
+    assert after - before == elapsed
+    assert before == median_of_samples(samples)

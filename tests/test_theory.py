@@ -1,0 +1,95 @@
+"""Tests for the theorem-prediction module."""
+
+import math
+
+import pytest
+
+from repro.analysis import theory
+from repro.core.exceptions import ConfigurationError
+
+
+class TestTwoChoices:
+    def test_rounds_shape(self):
+        # halving c1 doubles the predicted rounds
+        assert theory.two_choices_rounds(1000, 250) == pytest.approx(
+            2 * theory.two_choices_rounds(1000, 500)
+        )
+
+    def test_rounds_validation(self):
+        with pytest.raises(ConfigurationError):
+            theory.two_choices_rounds(1000, 0)
+        with pytest.raises(ConfigurationError):
+            theory.two_choices_rounds(1, 1)
+
+    def test_required_gap(self):
+        n = 10_000
+        assert theory.two_choices_required_gap(n) == pytest.approx(math.sqrt(n * math.log(n)))
+        assert theory.two_choices_required_gap(n, z=2) == pytest.approx(
+            2 * math.sqrt(n * math.log(n))
+        )
+
+    def test_lower_bound_additive(self):
+        n = 10_000
+        assert theory.two_choices_lower_bound(n, n // 2) == pytest.approx(2 + math.log(n))
+
+    def test_critical_gap(self):
+        assert theory.critical_gap(100) == 10.0
+
+
+class TestOneExtraBit:
+    def test_rounds_positive_and_modest(self):
+        value = theory.one_extra_bit_rounds(10**6, 100, 20_000, 10_000)
+        assert 1 < value < 200
+
+    def test_grows_with_k(self):
+        small = theory.one_extra_bit_rounds(10**6, 4, 20_000, 10_000)
+        large = theory.one_extra_bit_rounds(10**6, 4096, 20_000, 10_000)
+        assert large > small
+
+    def test_grows_with_smaller_gap(self):
+        tight = theory.one_extra_bit_rounds(10**6, 16, 10_001, 10_000)
+        loose = theory.one_extra_bit_rounds(10**6, 16, 20_000, 10_000)
+        assert tight > loose
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            theory.one_extra_bit_rounds(100, 2, 10, 10)
+        with pytest.raises(ConfigurationError):
+            theory.one_extra_bit_rounds(100, 1, 20, 10)
+
+    def test_required_gap_bigger_than_two_choices(self):
+        n = 10**6
+        assert theory.one_extra_bit_required_gap(n) > theory.two_choices_required_gap(n)
+
+
+class TestAsync:
+    def test_parallel_time_is_log(self):
+        assert theory.async_parallel_time(math.e**5) == pytest.approx(5.0)
+
+    def test_max_opinions_superpolylog(self):
+        n = 10**6
+        value = theory.async_max_opinions(n)
+        assert value > math.log(n) ** 2
+        assert value < n
+
+    def test_delta_between_1_and_log(self):
+        n = 10**6
+        assert 1 < theory.delta(n) < math.log(n)
+
+    def test_sync_gadget_samples_cubed(self):
+        n = 10**6
+        assert theory.sync_gadget_samples(n) == pytest.approx(
+            math.log(math.log(n)) ** 3
+        )
+
+    def test_tick_spread(self):
+        assert theory.sequential_tick_spread(10**6) == pytest.approx(math.log(10**6))
+
+
+class TestQuadraticAmplification:
+    def test_squares(self):
+        assert theory.quadratic_amplification(3.0) == 9.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            theory.quadratic_amplification(0.0)

@@ -1,0 +1,124 @@
+"""Tests for repro.graphs.sparse and the networkx adapter."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import TopologyError
+from repro.graphs.nx_adapter import from_networkx
+from repro.graphs.sparse import AdjacencyTopology, erdos_renyi, ring, torus
+
+
+class TestAdjacencyTopology:
+    def test_basic_path_graph(self):
+        graph = AdjacencyTopology([[1], [0, 2], [1]])
+        assert graph.n == 3
+        assert graph.degree(1) == 2
+        assert graph.neighbors_of(1).tolist() == [0, 2]
+
+    def test_rejects_isolated_node(self):
+        with pytest.raises(TopologyError):
+            AdjacencyTopology([[1], [0], []])
+
+    def test_rejects_out_of_range_neighbor(self):
+        with pytest.raises(TopologyError):
+            AdjacencyTopology([[1], [5]])
+
+    def test_rejects_single_node(self):
+        with pytest.raises(TopologyError):
+            AdjacencyTopology([[0]])
+
+    def test_sampling_respects_adjacency(self, rng):
+        graph = AdjacencyTopology([[1], [0, 2], [1]])
+        for _ in range(100):
+            assert graph.sample_neighbor(0, rng) == 1
+            assert graph.sample_neighbor(1, rng) in (0, 2)
+
+    def test_sample_neighbors_batch(self, rng):
+        graph = ring(10)
+        samples = graph.sample_neighbors(0, 200, rng)
+        assert set(np.unique(samples)) <= {1, 9}
+
+    def test_sample_neighbors_many(self, rng):
+        graph = ring(8)
+        nodes = rng.integers(0, 8, size=500)
+        samples = graph.sample_neighbors_many(nodes, rng)
+        diffs = (samples - nodes) % 8
+        assert set(np.unique(diffs)) <= {1, 7}
+
+    def test_not_complete(self):
+        assert not ring(5).is_complete()
+
+
+class TestRing:
+    def test_structure(self):
+        graph = ring(5)
+        assert graph.n == 5
+        assert sorted(graph.neighbors_of(0).tolist()) == [1, 4]
+        assert all(graph.degree(u) == 2 for u in range(5))
+
+    def test_too_small(self):
+        with pytest.raises(TopologyError):
+            ring(2)
+
+
+class TestTorus:
+    def test_structure(self):
+        graph = torus(3, 4)
+        assert graph.n == 12
+        assert all(graph.degree(u) == 4 for u in range(12))
+
+    def test_wraparound(self):
+        graph = torus(3, 3)
+        # node 0 = (0,0); neighbours are (2,0)=6, (1,0)=3, (0,2)=2, (0,1)=1
+        assert sorted(graph.neighbors_of(0).tolist()) == [1, 2, 3, 6]
+
+    def test_too_small(self):
+        with pytest.raises(TopologyError):
+            torus(2, 5)
+
+
+class TestErdosRenyi:
+    def test_min_degree_patched(self):
+        graph = erdos_renyi(30, 0.01, seed=0, ensure_min_degree=1)
+        assert all(graph.degree(u) >= 1 for u in range(30))
+
+    def test_deterministic_given_seed(self):
+        a = erdos_renyi(20, 0.2, seed=5)
+        b = erdos_renyi(20, 0.2, seed=5)
+        assert all((a.neighbors_of(u) == b.neighbors_of(u)).all() for u in range(20))
+
+    def test_dense_p_one_is_complete_graph(self):
+        graph = erdos_renyi(10, 1.0, seed=1)
+        assert all(graph.degree(u) == 9 for u in range(10))
+
+    def test_invalid_p(self):
+        with pytest.raises(TopologyError):
+            erdos_renyi(10, 1.5)
+
+
+class TestNetworkxAdapter:
+    def test_round_trip(self):
+        nx = pytest.importorskip("networkx")
+        graph = from_networkx(nx.path_graph(4))
+        assert graph.n == 4
+        assert graph.degree(0) == 1
+        assert graph.degree(1) == 2
+
+    def test_rejects_directed(self):
+        nx = pytest.importorskip("networkx")
+        with pytest.raises(TopologyError):
+            from_networkx(nx.DiGraph([(0, 1)]))
+
+    def test_rejects_isolated(self):
+        nx = pytest.importorskip("networkx")
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        g.add_node(2)
+        with pytest.raises(TopologyError):
+            from_networkx(g)
+
+    def test_arbitrary_labels(self):
+        nx = pytest.importorskip("networkx")
+        g = nx.Graph([("a", "b"), ("b", "c")])
+        graph = from_networkx(g)
+        assert graph.n == 3

@@ -1,0 +1,79 @@
+"""Tests for the event-skipping sequential Two-Choices simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.colors import ColorConfiguration
+from repro.core.exceptions import ConfigurationError
+from repro.engine.sequential import SequentialEngine
+from repro.graphs.complete import CompleteGraph
+from repro.protocols.two_choices import TwoChoicesSequential
+from repro.protocols.two_choices_fast import two_choices_sequential_fast
+
+
+class TestBasics:
+    def test_converges_to_plurality(self):
+        result = two_choices_sequential_fast(ColorConfiguration([700, 300]), seed=1)
+        assert result.converged
+        assert result.winner == 0
+        assert result.parallel_time == pytest.approx(result.rounds / 1000)
+
+    def test_population_conserved_on_trace(self):
+        result = two_choices_sequential_fast(
+            ColorConfiguration([600, 300, 100]), seed=2, record_trace=True
+        )
+        totals = result.trace.count_matrix().sum(axis=1)
+        assert (totals == 1000).all()
+
+    def test_consensus_start_is_absorbing(self):
+        result = two_choices_sequential_fast(ColorConfiguration([500, 0]), seed=3)
+        assert result.converged
+        assert result.rounds == 0
+
+    def test_budget_respected(self):
+        result = two_choices_sequential_fast(
+            ColorConfiguration([501, 499]), seed=4, max_parallel_time=0.5
+        )
+        assert result.rounds <= 500
+
+    def test_requires_configuration(self):
+        with pytest.raises(ConfigurationError):
+            two_choices_sequential_fast(np.array([5, 5]), seed=0)
+
+    def test_deterministic_given_seed(self):
+        a = two_choices_sequential_fast(ColorConfiguration([600, 400]), seed=9)
+        b = two_choices_sequential_fast(ColorConfiguration([600, 400]), seed=9)
+        assert a.rounds == b.rounds
+        assert a.final.counts == b.final.counts
+
+
+class TestLargeScale:
+    def test_million_nodes_in_reasonable_time(self):
+        """The whole point: asynchronous Two-Choices at n = 10^6."""
+        result = two_choices_sequential_fast(ColorConfiguration([700_000, 300_000]), seed=5)
+        assert result.converged
+        assert result.winner == 0
+        # Theta((n/c1) log n) parallel time, constants modest.
+        assert result.parallel_time < 60
+
+    def test_parallel_time_scales_logarithmically(self):
+        times = []
+        for n in (10_000, 1_000_000):
+            result = two_choices_sequential_fast(
+                ColorConfiguration([int(0.7 * n), n - int(0.7 * n)]), seed=6
+            )
+            times.append(result.parallel_time)
+        assert times[1] < times[0] * 3  # x100 in n, far from x100 in time
+
+
+class TestLawAgreement:
+    def test_matches_plain_sequential_engine(self):
+        """Tick-count distributions agree with the plain engine."""
+        n = 300
+        config = ColorConfiguration([210, 90])
+        trials = 20
+        plain_engine = SequentialEngine(TwoChoicesSequential(), CompleteGraph(n))
+        plain = [plain_engine.run(config, seed=s).rounds for s in range(trials)]
+        fast = [two_choices_sequential_fast(config, seed=500 + s).rounds for s in range(trials)]
+        pooled_sem = np.sqrt((np.var(plain) + np.var(fast)) / trials)
+        assert abs(np.mean(plain) - np.mean(fast)) < 4 * pooled_sem + n * 0.05

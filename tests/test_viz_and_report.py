@@ -1,0 +1,140 @@
+"""Tests for the terminal visualisation helpers and the report renderer."""
+
+import pytest
+
+from repro.bench.report import render_markdown_table, render_payload, render_report
+from repro.bench.store import ResultStore
+from repro.core.exceptions import ConfigurationError
+from repro.viz import hbar_chart, scatter_loglog, sparkline
+
+
+class TestSparkline:
+    def test_basic(self):
+        line = sparkline([0, 1, 2, 3, 4], peak=4)
+        assert len(line) == 5
+        assert line[0] == " "
+        assert line[-1] == "█"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_all_zero(self):
+        assert sparkline([0, 0, 0]) == "   "
+
+    def test_auto_peak(self):
+        assert sparkline([1, 2])[-1] == "█"
+
+
+class TestHbar:
+    def test_basic(self):
+        chart = hbar_chart(["aa", "b"], [10, 5], width=10)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_label_alignment(self):
+        chart = hbar_chart(["long-label", "x"], [1, 1])
+        lines = chart.splitlines()
+        assert lines[0].index("#") == lines[1].index("#")
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            hbar_chart(["a"], [1, 2])
+
+    def test_empty(self):
+        assert hbar_chart([], []) == ""
+
+    def test_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            hbar_chart(["a"], [1], width=0)
+
+
+class TestScatter:
+    def test_power_law_is_diagonal(self):
+        x = [1, 10, 100, 1000]
+        y = [2, 20, 200, 2000]
+        plot = scatter_loglog(x, y, rows=4, cols=4)
+        body = [line[1:] for line in plot.splitlines()[1:-1]]
+        # a pure power law fills the anti-diagonal
+        assert body[3][0] == "*" and body[0][3] == "*"
+
+    def test_bounds_in_labels(self):
+        plot = scatter_loglog([1, 100], [5, 50])
+        assert "1 .. 100" in plot
+        assert "5 .. 50" in plot
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            scatter_loglog([1, 2], [1])
+        with pytest.raises(ConfigurationError):
+            scatter_loglog([0, 2], [1, 2])
+        with pytest.raises(ConfigurationError):
+            scatter_loglog([1, 2], [1, 2], rows=1)
+
+
+class TestReport:
+    def _payload(self, eid="T1", check=True):
+        return {
+            "experiment_id": eid,
+            "title": "demo title",
+            "claim": "demo claim",
+            "headers": ["a", "b"],
+            "rows": [[1, 2.5], [3, None]],
+            "checks": {"shape": check},
+            "notes": ["a note"],
+            "elapsed_seconds": 1.25,
+        }
+
+    def test_markdown_table(self):
+        text = render_markdown_table(["a", "b"], [[1, None]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | - |"
+
+    def test_render_payload_sections(self):
+        text = render_payload(self._payload())
+        assert "## T1 — demo title" in text
+        assert "**Claim:** demo claim" in text
+        assert "shape PASS" in text
+        assert "a note" in text
+
+    def test_render_report_from_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("T1", self._payload("T1"))
+        store.save("T2", self._payload("T2", check=False))
+        text = render_report(store, title="My report")
+        assert text.startswith("# My report")
+        assert "## T1" in text and "## T2" in text
+        assert "1 shape check(s) FAIL" in text
+
+    def test_render_report_subset(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("T1", self._payload("T1"))
+        store.save("T2", self._payload("T2"))
+        text = render_report(store, ids=["T2"])
+        assert "## T2" in text and "## T1" not in text
+
+
+class TestCliReport:
+    def test_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = ResultStore(tmp_path)
+        store.save(
+            "T9",
+            {
+                "experiment_id": "T9",
+                "title": "t",
+                "claim": "c",
+                "headers": ["h"],
+                "rows": [[1]],
+                "checks": {},
+                "notes": [],
+                "elapsed_seconds": 0.0,
+            },
+        )
+        assert main(["report", "--store", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "## T9" in out

@@ -1,0 +1,183 @@
+"""Tests for the workload generators and sweep grids."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import ConfigurationError
+from repro.workloads.initial import (
+    additive_gap,
+    balanced,
+    dirichlet_random,
+    multiplicative_bias,
+    power_law,
+    theorem_1_1_gap,
+    two_colors,
+)
+from repro.workloads.sweeps import linear_ints, log_spaced_ints, powers_of_two
+
+
+class TestBalanced:
+    def test_even_split(self):
+        config = balanced(100, 4)
+        assert config.counts == (25, 25, 25, 25)
+
+    def test_remainder_distributed(self):
+        config = balanced(10, 3)
+        assert config.n == 10
+        assert config.c1 - min(config.counts) <= 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            balanced(3, 5)
+
+
+class TestAdditiveGap:
+    def test_gap_realised(self):
+        config = additive_gap(1000, 5, 100)
+        assert config.n == 1000
+        assert config.additive_bias >= 100
+        runners = config.counts[1:]
+        assert max(runners) == min(runners)  # c2 = ... = ck
+
+    def test_zero_gap(self):
+        config = additive_gap(100, 4, 0)
+        assert config.n == 100
+
+    def test_too_large_gap(self):
+        with pytest.raises(ConfigurationError):
+            additive_gap(100, 4, 99)
+
+    def test_single_color(self):
+        assert additive_gap(50, 1, 0).counts == (50,)
+
+
+class TestTheorem11Gap:
+    def test_meets_threshold(self):
+        config = theorem_1_1_gap(10_000, 4, z=1.0)
+        assert config.additive_bias >= math.sqrt(10_000 * math.log(10_000))
+
+    def test_z_scales_gap(self):
+        tight = theorem_1_1_gap(10_000, 4, z=1.0)
+        loose = theorem_1_1_gap(10_000, 4, z=2.0)
+        assert loose.additive_bias > tight.additive_bias
+
+
+class TestMultiplicativeBias:
+    def test_ratio_realised(self):
+        config = multiplicative_bias(10_000, 5, 1.5)
+        assert config.multiplicative_bias >= 1.5
+        runners = config.counts[1:]
+        assert max(runners) == min(runners)
+
+    def test_satisfies_theorem_1_3_precondition(self):
+        config = multiplicative_bias(10_000, 8, 1.3)
+        assert config.satisfies_multiplicative_bias(0.29)
+
+    def test_ratio_one_is_near_balanced(self):
+        config = multiplicative_bias(1000, 4, 1.0)
+        assert config.c1 - config.c2 <= config.k
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            multiplicative_bias(100, 4, 0.9)
+        with pytest.raises(ConfigurationError):
+            multiplicative_bias(10, 5, 100.0)
+
+
+class TestPowerLaw:
+    def test_descending(self):
+        config = power_law(10_000, 10, alpha=1.0)
+        assert config.counts == config.sorted_counts
+        assert config.n == 10_000
+
+    def test_alpha_zero_is_flatish(self):
+        config = power_law(1000, 4, alpha=0.0)
+        assert config.c1 - min(config.counts) <= 2
+
+    def test_every_color_populated(self):
+        config = power_law(1000, 50, alpha=2.0)
+        assert all(c >= 1 for c in config.counts)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            power_law(100, 4, alpha=-1)
+
+
+class TestDirichlet:
+    def test_sums_to_n(self):
+        config = dirichlet_random(5000, 6, seed=1)
+        assert config.n == 5000
+        assert all(c >= 1 for c in config.counts)
+
+    def test_deterministic_given_seed(self):
+        a = dirichlet_random(5000, 6, seed=42)
+        b = dirichlet_random(5000, 6, seed=42)
+        assert a.counts == b.counts
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            dirichlet_random(100, 4, concentration=0.0)
+
+
+class TestTwoColors:
+    def test_gap(self):
+        config = two_colors(1000, 100)
+        assert config.n == 1000
+        assert config.additive_bias in (100, 101)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            two_colors(10, -1)
+        with pytest.raises(ConfigurationError):
+            two_colors(4, 10)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(min_value=10, max_value=100_000),
+    k=st.integers(min_value=1, max_value=9),
+)
+def test_property_generators_sum_to_n(n, k):
+    assert balanced(n, k).n == n
+    assert power_law(n, k).n == n
+    ratio_config = multiplicative_bias(n, k, 1.2)
+    assert ratio_config.n == n
+    assert ratio_config.counts == ratio_config.sorted_counts
+
+
+class TestSweeps:
+    def test_log_spaced(self):
+        values = log_spaced_ints(10, 1000, 3)
+        assert values[0] == 10
+        assert values[-1] == 1000
+        assert values == sorted(set(values))
+
+    def test_log_spaced_single(self):
+        assert log_spaced_ints(7, 100, 1) == [7]
+
+    def test_log_spaced_validation(self):
+        with pytest.raises(ConfigurationError):
+            log_spaced_ints(10, 5, 3)
+        with pytest.raises(ConfigurationError):
+            log_spaced_ints(1, 10, 0)
+
+    def test_powers_of_two(self):
+        assert powers_of_two(4, 64) == [4, 8, 16, 32, 64]
+        assert powers_of_two(5, 64) == [8, 16, 32, 64]
+
+    def test_powers_of_two_empty_range(self):
+        with pytest.raises(ConfigurationError):
+            powers_of_two(33, 63)
+
+    def test_linear(self):
+        assert linear_ints(2, 10, 3) == [2, 5, 8]
+
+    def test_linear_validation(self):
+        with pytest.raises(ConfigurationError):
+            linear_ints(2, 10, 0)
+        with pytest.raises(ConfigurationError):
+            linear_ints(10, 2, 1)
