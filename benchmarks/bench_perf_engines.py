@@ -1,0 +1,83 @@
+"""Engine-family perf benchmark (no experiment id — pure wall clock).
+
+Times every engine on a fixed asynchronous Two-Choices workload
+(counts (0.6n, 0.4n) on ``K_n``, run to consensus) and persists the
+payload to ``BENCH_engines.json`` at the repo root so the perf
+trajectory is comparable across PRs.
+
+Usage::
+
+    pytest benchmarks/bench_perf_engines.py --benchmark-only       # quick
+    REPRO_BENCH_SCALE=full pytest benchmarks/bench_perf_engines.py --benchmark-only
+    python benchmarks/bench_perf_engines.py [--quick] [--headline] [--out PATH]
+
+The ``full`` pytest scale (and the script without ``--quick``) covers
+``n in {1e4, 1e5, 1e6}`` with the per-tick baseline capped at ``1e5``;
+``--headline`` adds the ``n = 1e8`` counts-engine run the acceptance
+criteria quote.
+"""
+
+import os
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).parent.parent
+OUT_PATH = ROOT / "BENCH_engines.json"
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # direct script invocation without PYTHONPATH=src
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.bench.perf_engines import (  # noqa: E402
+    DEFAULT_NS,
+    QUICK_NS,
+    benchmark_engines,
+    format_payload,
+    save_payload,
+)
+
+
+def test_engine_family_perf(benchmark):
+    """Pytest-benchmark target: one sweep at the selected scale."""
+    full = os.environ.get("REPRO_BENCH_SCALE") == "full"
+    payload = benchmark.pedantic(
+        benchmark_engines,
+        kwargs={
+            "ns": list(DEFAULT_NS if full else QUICK_NS),
+            "trials": 3 if full else 2,
+            "baseline_max_n": None if full else 10_000,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_payload(payload))
+    save_payload(payload, str(OUT_PATH))
+    skipped = {r["engine"] for r in payload["results"] if r.get("skipped")}
+    timed = [r for r in payload["results"] if not r.get("skipped")]
+    assert timed, "no engine was timed"
+    assert all(r["all_converged"] for r in timed)
+    # The counts fast path always beats the seed per-tick baseline; it
+    # beats the batched agent engines from n >= 1e5 (below that, fixed
+    # per-batch numpy overhead dominates and everything is < 0.1 s).
+    for n in payload["ns"]:
+        rows = {r["engine"]: r for r in payload["results"] if r["n"] == n and not r.get("skipped")}
+        if "counts-sequential" not in rows:
+            continue
+        counts_seconds = rows["counts-sequential"]["mean_seconds"]
+        if "sequential/per-tick" in rows:
+            assert counts_seconds < rows["sequential/per-tick"]["mean_seconds"]
+        if n >= 100_000 and "sequential" in rows:
+            assert counts_seconds < rows["sequential"]["mean_seconds"]
+    if skipped:
+        print(f"skipped above their size caps: {sorted(skipped)}")
+
+
+if __name__ == "__main__":
+    from repro.bench import perf_engines
+
+    argv = sys.argv[1:]
+    if "--out" not in argv:
+        argv += ["--out", str(OUT_PATH)]
+    raise SystemExit(perf_engines.main(argv))

@@ -19,6 +19,7 @@ from ..analysis.polya import PolyaUrn, limit_fraction_variance
 from ..core.colors import ColorConfiguration
 from ..engine.continuous import ContinuousEngine
 from ..engine.delays import ExponentialDelay
+from ..engine.dispatch import fastest_engine
 from ..engine.sequential import SequentialEngine
 from ..graphs.complete import CompleteGraph
 from ..protocols.async_plurality import AsyncPluralityConsensus, AsyncPluralityProtocol
@@ -254,39 +255,55 @@ def experiment_t9_endgame(scale: ExperimentScale) -> ExperimentReport:
 
 def experiment_t10_model_equivalence(scale: ExperimentScale) -> ExperimentReport:
     """T10 — the sequential model and the continuous Poisson-clock model
-    give the same run time (the equivalence the paper cites [4] for)."""
+    give the same run time (the equivalence the paper cites [4] for),
+    and the batched counts fast path draws from the same law as both."""
     with timed() as clock:
         n = scale.scaled(2_000, minimum=256)
         gap = int(0.2 * n)
         config = two_colors(n, gap)
         topology = CompleteGraph(n)
-        trials = max(24, scale.trials * 2)
+        # 40-trial floor: the CI-overlap check needs tighter intervals
+        # than 24 trials give (the engines are fast enough now).
+        trials = max(40, scale.trials * 2)
         protocol = TwoChoicesSequential()
         sequential = SequentialEngine(protocol, topology)
         continuous = ContinuousEngine(protocol, topology)
+        counts_fast = fastest_engine(protocol, topology, model="sequential")
         seq_results = run_trials(lambda s: sequential.run(config, seed=s), trials, scale.seed)
         cont_results = run_trials(lambda s: continuous.run(config, seed=s), trials, scale.seed + 1)
+        fast_results = run_trials(lambda s: counts_fast.run(config, seed=s), trials, scale.seed + 2)
         seq_times = [r.parallel_time for r in seq_results if r.converged]
         cont_times = [r.parallel_time for r in cont_results if r.converged]
+        fast_times = [r.parallel_time for r in fast_results if r.converged]
         seq_mean, seq_low, seq_high = stats.bootstrap_mean_ci(seq_times)
         cont_mean, cont_low, cont_high = stats.bootstrap_mean_ci(cont_times)
+        fast_mean, fast_low, fast_high = stats.bootstrap_mean_ci(fast_times)
         ks_statistic, ks_pvalue = stats.ks_two_sample(seq_times, cont_times)
+        fast_ks_statistic, fast_ks_pvalue = stats.ks_two_sample(seq_times, fast_times)
         rows = [
             ["sequential (ticks/n)", len(seq_times), seq_mean, seq_low, seq_high],
             ["continuous (Poisson)", len(cont_times), cont_mean, cont_low, cont_high],
+            ["counts fast path (batched)", len(fast_times), fast_mean, fast_low, fast_high],
         ]
         overlap = not (seq_high < cont_low or cont_high < seq_low)
+        fast_overlap = not (seq_high < fast_low or fast_high < seq_low)
         checks = {
             "confidence_intervals_overlap": overlap,
             "means_within_25_percent": abs(seq_mean - cont_mean) <= 0.25 * max(seq_mean, cont_mean),
             "both_always_converge": len(seq_times) == trials and len(cont_times) == trials,
             # Whole-distribution agreement, not just the means.
             "ks_test_not_rejected": ks_pvalue >= 0.01,
+            # The dispatcher's K_n fast path is a drop-in: same law.
+            "fast_path_is_counts_engine": counts_fast.__class__.__name__ == "CountsSequentialEngine",
+            "fast_path_always_converges": len(fast_times) == trials,
+            "fast_path_cis_overlap": fast_overlap,
+            "fast_path_ks_not_rejected": fast_ks_pvalue >= 0.01,
         }
     report = ExperimentReport(
         experiment_id="T10",
         title="Sequential vs continuous-time model equivalence (Section 1)",
-        claim="run-time distributions agree between the two asynchronous formulations",
+        claim="run-time distributions agree between the two asynchronous formulations "
+        "(and the batched counts fast path matches both)",
         headers=["model", "runs", "mean parallel time", "ci-low", "ci-high"],
         rows=rows,
         checks=checks,
@@ -295,6 +312,9 @@ def experiment_t10_model_equivalence(scale: ExperimentScale) -> ExperimentReport
     report.notes.append(
         f"two-sample KS: statistic {ks_statistic:.3f}, p-value {ks_pvalue:.3f} "
         "(equivalence predicts no rejection)"
+    )
+    report.notes.append(
+        f"fast path vs sequential KS: statistic {fast_ks_statistic:.3f}, p-value {fast_ks_pvalue:.3f}"
     )
     report.elapsed_seconds = clock.elapsed
     return report

@@ -26,9 +26,11 @@ from ..analysis import theory
 from ..analysis.convergence import per_phase_ratio_growth, ratio_trace
 from ..core.colors import ColorConfiguration
 from ..engine.counts import CountsEngine
+from ..engine.dispatch import fastest_engine
+from ..graphs.complete import CompleteGraph
 from ..protocols.one_extra_bit import OneExtraBitCounts, default_bp_rounds
 from ..protocols.three_majority import ThreeMajorityCounts
-from ..protocols.two_choices import TwoChoicesCounts
+from ..protocols.two_choices import TwoChoicesCounts, TwoChoicesSequential
 from ..protocols.undecided_state import UndecidedStateCounts
 from ..protocols.voter import VoterCounts
 from ..workloads.initial import additive_gap, multiplicative_bias, theorem_1_1_gap, two_colors
@@ -334,12 +336,40 @@ def experiment_t11_protocol_comparison(scale: ExperimentScale) -> ExperimentRepo
                 )
                 outcome[(scenario_name[:1], proto_name)] = (mean, preserved)
                 rows.append([scenario_name, proto_name, mean, preserved, f"{converged}/{total} converged"])
+
+        # Asynchronous landscape probe: the same scenario-A workload in
+        # the sequential tick model, routed through the engine
+        # dispatcher so K_n picks up the batched counts fast path.
+        scenario_name, config, _, n = scenarios[0]
+        async_engine = fastest_engine(TwoChoicesSequential(), CompleteGraph(n), model="sequential")
+        async_trials = min(3, scale.trials)
+        async_results = run_trials(
+            lambda s: async_engine.run(config, seed=s), async_trials, scale.seed + 11
+        )
+        async_mean = float(np.mean([r.parallel_time for r in async_results if r.converged]))
+        async_preserved = float(np.mean([r.converged and r.winner == 0 for r in async_results]))
+        async_converged = sum(1 for r in async_results if r.converged)
+        rows.append(
+            [
+                scenario_name,
+                "two-choices (async ticks)",
+                async_mean,
+                async_preserved,
+                f"{async_converged}/{async_trials} converged "
+                f"[{async_results[0].metadata['engine']}]",
+            ]
+        )
+
         checks = {
             "two_choices_wins_scenario_A": outcome[("A", "two-choices")][1] >= 0.8,
             "voter_pays_theta_n": outcome[("A", "voter")][0] > 20 * outcome[("A", "two-choices")][0],
             "one_extra_bit_fastest_at_k128": outcome[("C", "one-extra-bit")][0]
             < outcome[("C", "two-choices")][0],
             "one_extra_bit_preserves_plurality": outcome[("B", "one-extra-bit")][1] >= 0.8,
+            # The async fast path dispatches to the counts engine and
+            # agrees with the synchronous protocol landscape.
+            "async_fast_path_dispatched": async_results[0].metadata["engine"] == "counts-sequential",
+            "async_two_choices_wins_scenario_A": async_preserved >= 0.8,
         }
     report = ExperimentReport(
         experiment_id="T11",

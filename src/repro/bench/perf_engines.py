@@ -1,0 +1,296 @@
+"""Wall-clock benchmark of the engine family on one async workload.
+
+The workload is fixed — asynchronous Two-Choices on ``K_n`` from a
+60/40 two-colour split, run to consensus — so the numbers track the
+*engines*, not the protocol zoo.  Engines covered:
+
+* ``sequential/per-tick`` — the historical one-``seq_tick``-per-node
+  loop (the seed implementation), forced via a subclass that restores
+  the base-class ``seq_tick_batch``; this is the baseline the speedup
+  figures are measured against.
+* ``sequential`` / ``continuous`` — the agent-level engines with the
+  vectorised ``seq_tick_batch`` hooks.
+* ``two-choices/fast`` — the event-skipping counts simulator
+  (:func:`repro.protocols.two_choices_fast.two_choices_sequential_fast`).
+* ``counts-sequential`` / ``counts-continuous`` — the batched tick
+  engines, built through
+  :func:`repro.engine.dispatch.fastest_engine` so the benchmark also
+  exercises the dispatch wiring.
+
+``python -m repro engines`` and ``benchmarks/bench_perf_engines.py``
+both call :func:`benchmark_engines` and persist the JSON payload
+(``BENCH_engines.json`` at the repo root by convention) so the perf
+trajectory stays comparable across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.colors import ColorConfiguration
+from ..engine.continuous import ContinuousEngine
+from ..engine.dispatch import fastest_engine
+from ..engine.sequential import SequentialEngine
+from ..graphs.complete import CompleteGraph
+from ..protocols.base import SequentialProtocol
+from ..protocols.two_choices import TwoChoicesSequential
+from ..protocols.two_choices_fast import two_choices_sequential_fast
+
+__all__ = ["benchmark_engines", "save_payload", "main", "DEFAULT_NS", "QUICK_NS"]
+
+#: sizes of the standard sweep (the full run adds the headline 10^8).
+DEFAULT_NS = (10_000, 100_000, 1_000_000)
+QUICK_NS = (10_000, 100_000)
+
+_BASELINE = "sequential/per-tick"
+
+
+class _SeedPathTwoChoices(TwoChoicesSequential):
+    """Two-Choices with the vectorised batch hook disabled.
+
+    Restoring the base-class ``seq_tick_batch`` makes the engines fall
+    back to one Python ``seq_tick`` per node — byte-for-byte the seed
+    implementation's work loop — giving the speedup baseline.
+    """
+
+    seq_tick_batch = SequentialProtocol.seq_tick_batch
+
+
+def _engine_specs():
+    """(key, max_n, runner_factory) for every timed engine."""
+
+    def per_tick(n):
+        engine = SequentialEngine(_SeedPathTwoChoices(), CompleteGraph(n))
+        return lambda config, seed: engine.run(config, seed=seed)
+
+    def sequential(n):
+        engine = SequentialEngine(TwoChoicesSequential(), CompleteGraph(n))
+        return lambda config, seed: engine.run(config, seed=seed)
+
+    def continuous(n):
+        engine = ContinuousEngine(TwoChoicesSequential(), CompleteGraph(n))
+        return lambda config, seed: engine.run(config, seed=seed)
+
+    def fast(n):
+        return lambda config, seed: two_choices_sequential_fast(config, seed=seed)
+
+    def counts_sequential(n):
+        engine = fastest_engine(TwoChoicesSequential(), CompleteGraph(n), model="sequential")
+        return lambda config, seed: engine.run(config, seed=seed)
+
+    def counts_continuous(n):
+        engine = fastest_engine(TwoChoicesSequential(), CompleteGraph(n), model="continuous")
+        return lambda config, seed: engine.run(config, seed=seed)
+
+    return [
+        (_BASELINE, 100_000, per_tick),
+        ("sequential", 1_000_000, sequential),
+        ("continuous", 1_000_000, continuous),
+        ("two-choices/fast", 100_000, fast),
+        ("counts-sequential", None, counts_sequential),
+        ("counts-continuous", None, counts_continuous),
+    ]
+
+
+def benchmark_engines(
+    ns: Sequence[int] = DEFAULT_NS,
+    trials: int = 3,
+    seed: int = 20170725,
+    baseline_max_n: Optional[int] = None,
+) -> Dict:
+    """Time every engine on the fixed workload for each ``n`` in *ns*.
+
+    Returns the JSON-ready payload: per-(n, engine) mean seconds and
+    run statistics, per-n speedups relative to the per-tick baseline,
+    and the headline criteria other tooling checks mechanically.
+    Engines whose cost scales with ``n`` in Python are skipped above
+    their ``max_n`` (recorded as ``skipped`` entries so the table shape
+    is stable); *baseline_max_n* lowers the per-tick cap for quick CI
+    runs.
+    """
+    specs = _engine_specs()
+    results: List[Dict] = []
+    for n in ns:
+        config = ColorConfiguration([int(round(0.6 * n)), n - int(round(0.6 * n))])
+        for key, max_n, factory in specs:
+            cap = max_n
+            if key == _BASELINE and baseline_max_n is not None:
+                cap = min(baseline_max_n, max_n)
+            if cap is not None and n > cap:
+                results.append({"engine": key, "n": n, "skipped": True})
+                continue
+            runner = factory(n)
+            seconds = []
+            parallel_times = []
+            converged = True
+            for trial in range(trials):
+                start = time.perf_counter()
+                result = runner(config, seed + trial)
+                seconds.append(time.perf_counter() - start)
+                parallel_times.append(result.parallel_time)
+                converged = converged and result.converged
+            results.append(
+                {
+                    "engine": key,
+                    "n": n,
+                    "skipped": False,
+                    "trials": trials,
+                    "mean_seconds": float(np.mean(seconds)),
+                    "min_seconds": float(np.min(seconds)),
+                    "mean_parallel_time": float(np.mean(parallel_times)),
+                    "all_converged": bool(converged),
+                }
+            )
+
+    speedups: Dict[str, Dict[str, float]] = {}
+    for n in ns:
+        rows = {r["engine"]: r for r in results if r["n"] == n and not r.get("skipped")}
+        base = rows.get(_BASELINE)
+        if base is None:
+            continue
+        speedups[str(n)] = {
+            key: base["mean_seconds"] / row["mean_seconds"]
+            for key, row in rows.items()
+            if key != _BASELINE
+        }
+
+    criteria = {}
+    # Speedup criterion at the largest n where the per-tick baseline
+    # actually ran (quick CI caps the baseline at 1e4, so the criterion
+    # is still emitted there instead of silently vanishing).
+    common = sorted(int(n) for n, per_engine in speedups.items() if "counts-sequential" in per_engine)
+    if common:
+        n_ref = common[-1]
+        speedup = speedups[str(n_ref)]["counts-sequential"]
+        criteria["speedup_reference_n"] = n_ref
+        criteria["counts_seq_speedup_vs_per_tick"] = speedup
+        criteria["counts_seq_faster_than_per_tick"] = speedup > 1.0
+        if n_ref >= 100_000:
+            # The >= 20x figure is an n >= 1e5 claim (below that, fixed
+            # per-batch overhead dominates); quick CI runs record the
+            # plain speedup instead of a vacuously-failing flag.
+            criteria["counts_seq_speedup_at_1e5"] = speedups["100000"]["counts-sequential"]
+            criteria["counts_seq_speedup_at_1e5_ge_20x"] = (
+                speedups["100000"]["counts-sequential"] >= 20.0
+            )
+    headline = [
+        r for r in results if r["engine"] == "counts-sequential" and r["n"] >= 10**8 and not r.get("skipped")
+    ]
+    if headline:
+        criteria["counts_seq_1e8_seconds"] = headline[0]["mean_seconds"]
+        criteria["counts_seq_1e8_under_60s"] = headline[0]["mean_seconds"] < 60.0
+
+    return {
+        "benchmark": "engine-family/async-two-choices",
+        "workload": "Two-Choices on K_n, counts (0.6n, 0.4n), run to consensus",
+        "ns": [int(n) for n in ns],
+        "trials": trials,
+        "seed": seed,
+        "baseline": _BASELINE,
+        "results": results,
+        "speedups_vs_per_tick": speedups,
+        "criteria": criteria,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+    }
+
+
+def save_payload(payload: Dict, path: str) -> None:
+    """Write the payload as indented JSON (stable key order)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def format_payload(payload: Dict) -> str:
+    """Human-readable table of the payload for terminal output."""
+    from .tables import format_table
+
+    rows = []
+    for entry in payload["results"]:
+        if entry.get("skipped"):
+            rows.append([entry["engine"], entry["n"], "skipped", "", ""])
+        else:
+            rows.append(
+                [
+                    entry["engine"],
+                    entry["n"],
+                    f"{entry['mean_seconds']:.3f}s",
+                    f"{entry['mean_parallel_time']:.1f}",
+                    "yes" if entry["all_converged"] else "NO",
+                ]
+            )
+    lines = [format_table(["engine", "n", "mean wall", "mean parallel time", "converged"], rows)]
+    for n, per_engine in payload["speedups_vs_per_tick"].items():
+        pretty = ", ".join(f"{key} {value:.0f}x" for key, value in sorted(per_engine.items()))
+        lines.append(f"speedup vs {payload['baseline']} at n={n}: {pretty}")
+    for name, value in payload["criteria"].items():
+        lines.append(f"criterion {name}: {value}")
+    return "\n".join(lines)
+
+
+def add_cli_arguments(parser) -> None:
+    """Register the benchmark's options on *parser*.
+
+    Shared by the standalone entry point below and the ``engines``
+    subcommand of ``python -m repro`` so the two interfaces cannot
+    drift apart.
+    """
+    parser.add_argument("--ns", default=None, help="comma-separated list of n values")
+    parser.add_argument("--trials", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=20170725)
+    parser.add_argument("--out", default=None, help="write the JSON payload to this path")
+    parser.add_argument(
+        "--quick", action="store_true", help="CI scale: n in {1e4, 1e5}, per-tick baseline capped at 1e4"
+    )
+    parser.add_argument(
+        "--headline", action="store_true", help="add the n=1e8 counts-engine headline run"
+    )
+
+
+def run_cli(args, error) -> int:
+    """Execute a parsed ``add_cli_arguments`` namespace.
+
+    *error* is the owning parser's ``error`` callable (exits with a
+    usage message on invalid ``--ns`` values).
+    """
+    if args.ns is not None:
+        try:
+            ns = [int(value) for value in args.ns.split(",")]
+        except ValueError:
+            error(f"--ns must be comma-separated integers, got {args.ns!r}")
+        if any(n < 2 for n in ns):
+            error(f"--ns values must be >= 2, got {ns}")
+    else:
+        ns = list(QUICK_NS if args.quick else DEFAULT_NS)
+    if args.headline and 10**8 not in ns:
+        ns.append(10**8)
+    payload = benchmark_engines(
+        ns=ns,
+        trials=args.trials,
+        seed=args.seed,
+        baseline_max_n=10_000 if args.quick else None,
+    )
+    print(format_payload(payload))
+    if args.out:
+        save_payload(payload, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone CLI entry point."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description="benchmark the engine family on async Two-Choices")
+    add_cli_arguments(parser)
+    args = parser.parse_args(argv)
+    return run_cli(args, parser.error)

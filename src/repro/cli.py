@@ -7,6 +7,7 @@ Examples::
     python -m repro run all --scale full --store results
     python -m repro show T6 --store results
     python -m repro schedule 100000
+    python -m repro engines --quick --out BENCH_engines.json
 """
 
 from __future__ import annotations
@@ -50,6 +51,15 @@ def build_parser() -> argparse.ArgumentParser:
     sched_cmd = sub.add_parser("schedule", help="print the compiled phase schedule for n nodes")
     sched_cmd.add_argument("n", type=int)
     sched_cmd.add_argument("--no-sync", action="store_true", help="disable the Sync Gadget")
+
+    engines_cmd = sub.add_parser(
+        "engines",
+        help="benchmark the engine family (incl. the K_n counts fast path) on async Two-Choices",
+    )
+    # single source of truth for the options: the perf module itself
+    from .bench.perf_engines import add_cli_arguments
+
+    add_cli_arguments(engines_cmd)
     return parser
 
 
@@ -67,7 +77,8 @@ def _resolve_scale(args) -> ExperimentScale:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
 
     if args.command == "list":
         rows = [[eid] for eid in experiment_ids()]
@@ -105,6 +116,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         print(render_report(ResultStore(args.store), title=args.title))
         return 0
+
+    if args.command == "engines":
+        from .bench.perf_engines import run_cli
+
+        return run_cli(args, parser.error)
 
     if args.command == "schedule":
         schedule = PhaseSchedule.compile(args.n, sync_enabled=not args.no_sync)

@@ -9,7 +9,9 @@ from .base import (
 )
 from .continuous import ContinuousEngine
 from .counts import CountsEngine
+from .counts_async import CountsContinuousEngine, CountsSequentialEngine
 from .delays import DelayModel, ExponentialDelay, FixedDelay, NoDelay
+from .dispatch import fastest_engine
 from .events import EventQueue
 from .sequential import SequentialEngine
 from .synchronous import SynchronousEngine
@@ -21,7 +23,9 @@ __all__ = [
     "near_consensus",
     "plurality_fraction_at_least",
     "ContinuousEngine",
+    "CountsContinuousEngine",
     "CountsEngine",
+    "CountsSequentialEngine",
     "DelayModel",
     "ExponentialDelay",
     "FixedDelay",
@@ -29,4 +33,5 @@ __all__ = [
     "EventQueue",
     "SequentialEngine",
     "SynchronousEngine",
+    "fastest_engine",
 ]

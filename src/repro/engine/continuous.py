@@ -111,23 +111,44 @@ class ContinuousEngine:
         converged = stop(counts)
         batch = 4096
         while not converged and time < max_time:
-            gaps = rng.exponential(1.0 / n, size=batch)
-            nodes = rng.integers(0, n, size=batch)
-            for gap, node in zip(gaps, nodes):
-                time += gap
-                if time >= max_time:
+            # Blocks end on stop-check boundaries (same cadence as the
+            # historical per-tick loop); the clock gaps for the whole
+            # block come from one exponential draw, the protocol work
+            # from one seq_tick_batch call.
+            to_check = check_every - ticks % check_every
+            block = min(batch, to_check)
+            if trace is not None and time < next_trace:
+                # End the block near the next trace boundary (expected
+                # tick count to reach it) so trace_every is honoured
+                # even when check_every is large.
+                expected = int((next_trace - time) * n) + 1
+                block = min(block, max(1, expected))
+            gaps = rng.exponential(1.0 / n, size=block)
+            nodes = rng.integers(0, n, size=block)
+            tick_times = time + np.cumsum(gaps)
+            if tick_times[-1] >= max_time:
+                # A tick happening at or after max_time is not applied.
+                fits = int(np.searchsorted(tick_times, max_time, side="right"))
+                nodes = nodes[:fits]
+                time = max_time
+            else:
+                time = float(tick_times[-1])
+            protocol.seq_tick_batch(state, nodes, topology, rng)
+            ticks += len(nodes)
+            # Trace cadence is independent of the stop-check cadence:
+            # trace_every is honoured (to block granularity) even when
+            # check_every is large.
+            if trace is not None and time >= next_trace:
+                trace.record(time, state.counts())
+                while next_trace <= time:
+                    next_trace += trace_every
+            if len(nodes) == block and ticks % check_every == 0:
+                counts = state.counts()
+                if stop(counts):
+                    converged = True
+                elif protocol.is_absorbed(state):
                     break
-                protocol.seq_tick(state, int(node), topology, rng)
-                ticks += 1
-                if ticks % check_every == 0:
-                    counts = state.counts()
-                    if trace is not None and time >= next_trace:
-                        trace.record(time, counts)
-                        next_trace += trace_every
-                    if stop(counts):
-                        converged = True
-                        break
-            if not converged and protocol.is_absorbed(state):
+            if time >= max_time:
                 break
         counts = state.counts()
         converged = converged or stop(counts)

@@ -1,0 +1,123 @@
+"""Engine selection: route a (protocol, topology, model) onto the
+fastest engine that simulates it *exactly*.
+
+The repo grew one engine per execution model (synchronous rounds,
+sequential ticks, Poisson clocks) plus counts-level fast paths that are
+only valid on ``K_n``.  :func:`fastest_engine` encodes the routing
+table so benchmarks, the CLI and library users pick up new fast paths
+automatically instead of hard-coding engine classes:
+
+==================  =======================  ===============================
+model               on ``K_n``               elsewhere / with delays
+==================  =======================  ===============================
+``"synchronous"``   CountsEngine (counts     SynchronousEngine
+                    protocols) else
+                    SynchronousEngine
+``"sequential"``    CountsSequentialEngine   SequentialEngine
+                    when the protocol has a
+                    counts-level tick law
+``"continuous"``    CountsContinuousEngine   ContinuousEngine (always used
+                    when zero-delay and a    when a delay model is given)
+                    counts-level tick law
+==================  =======================  ===============================
+
+Every returned engine draws from the *same law* as the engine it
+replaces (see the exactness notes in :mod:`repro.engine.counts_async`),
+so swapping in :func:`fastest_engine` changes wall-clock time only.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..core.exceptions import ConfigurationError
+from ..graphs.topology import Topology
+from ..protocols.base import (
+    CountsProtocol,
+    SequentialCountsProtocol,
+    SequentialProtocol,
+    SynchronousProtocol,
+)
+from .continuous import ContinuousEngine
+from .counts import CountsEngine
+from .counts_async import CountsContinuousEngine, CountsSequentialEngine
+from .delays import DelayModel
+from .sequential import SequentialEngine
+from .synchronous import SynchronousEngine
+
+__all__ = ["fastest_engine"]
+
+AnyProtocol = Union[SynchronousProtocol, CountsProtocol, SequentialProtocol, SequentialCountsProtocol]
+
+
+def fastest_engine(
+    protocol: AnyProtocol,
+    topology: Topology,
+    model: str = "sequential",
+    delay_model: Optional[DelayModel] = None,
+):
+    """Build the fastest exact engine for *protocol* on *topology*.
+
+    Parameters
+    ----------
+    protocol:
+        Any protocol object of the four interface families.
+    topology:
+        Where the protocol runs; counts-level fast paths require
+        ``topology.is_complete()``.
+    model:
+        ``"sequential"`` (tick-based asynchronous, the default),
+        ``"continuous"`` (Poisson clocks) or ``"synchronous"``
+        (round-based).
+    delay_model:
+        Response delays for the continuous model; a non-zero delay
+        model forces the event-queue engine.
+
+    Returns
+    -------
+    An engine instance whose ``run(initial, ..., seed=...)`` draws from
+    the same law as the reference engine for *model*.  Counts-level
+    engines require a :class:`~repro.core.colors.ColorConfiguration`
+    initial state.
+    """
+    on_complete = topology.is_complete()
+
+    if model == "synchronous":
+        if delay_model is not None and not delay_model.is_zero():
+            raise ConfigurationError("delay models only apply to the continuous model")
+        if isinstance(protocol, CountsProtocol):
+            if not on_complete:
+                raise ConfigurationError(f"{protocol.name} is counts-level and needs K_n")
+            return CountsEngine(protocol)
+        if isinstance(protocol, SynchronousProtocol):
+            return SynchronousEngine(protocol, topology)
+        raise ConfigurationError(f"{protocol.name} does not implement the synchronous model")
+
+    if model not in ("sequential", "continuous"):
+        raise ConfigurationError(
+            f"unknown model {model!r}; expected 'sequential', 'continuous' or 'synchronous'"
+        )
+
+    zero_delay = delay_model is None or delay_model.is_zero()
+    if model == "sequential" and not zero_delay:
+        raise ConfigurationError("response delays require the continuous model")
+    counts_engine_cls = CountsSequentialEngine if model == "sequential" else CountsContinuousEngine
+
+    if isinstance(protocol, SequentialCountsProtocol):
+        if not on_complete:
+            raise ConfigurationError(f"{protocol.name} is counts-level and needs K_n")
+        if not zero_delay:
+            raise ConfigurationError("counts-level tick protocols cannot simulate response delays")
+        return counts_engine_cls(protocol)
+
+    if not isinstance(protocol, SequentialProtocol):
+        raise ConfigurationError(f"{protocol.name} does not implement the {model} model")
+
+    if zero_delay and on_complete:
+        companion = protocol.as_sequential_counts()
+        if companion is not None:
+            return counts_engine_cls(companion)
+
+    if model == "continuous":
+        return ContinuousEngine(protocol, topology, delay_model=delay_model)
+    return SequentialEngine(protocol, topology)

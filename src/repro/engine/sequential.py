@@ -92,24 +92,31 @@ class SequentialEngine:
         protocol = self.protocol
         topology = self.topology
         ticks = 0
+        next_trace = trace_interval
         converged = stop(counts)
         while not converged and ticks < max_ticks:
-            block = min(_BATCH, max_ticks - ticks)
+            # Blocks end on stop-check boundaries so the check cadence
+            # is identical to the historical per-tick loop; within a
+            # block the protocol batches its neighbour sampling.  When
+            # tracing, blocks also end on trace boundaries so the trace
+            # cadence is honoured regardless of check_every.
+            to_check = check_every - ticks % check_every
+            block = min(_BATCH, max_ticks - ticks, to_check)
+            if trace is not None:
+                block = min(block, next_trace - ticks)
             nodes = rng.integers(0, n, size=block)
-            for node in nodes:
-                protocol.seq_tick(state, int(node), topology, rng)
-                ticks += 1
-                if ticks % check_every == 0:
-                    counts = state.counts()
-                    if trace is not None and ticks % trace_interval < check_every:
-                        trace.record(ticks / n, counts)
-                    if stop(counts):
-                        converged = True
-                        break
-            if not converged and protocol.is_absorbed(state):
+            protocol.seq_tick_batch(state, nodes, topology, rng)
+            ticks += block
+            if trace is not None and ticks >= next_trace:
+                trace.record(ticks / n, state.counts())
+                while next_trace <= ticks:
+                    next_trace += trace_interval
+            if ticks % check_every == 0:
                 counts = state.counts()
-                converged = stop(counts)
-                break
+                if stop(counts):
+                    converged = True
+                elif protocol.is_absorbed(state):
+                    break
         counts = state.counts()
         converged = converged or stop(counts)
         if trace is not None:

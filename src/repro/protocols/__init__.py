@@ -9,7 +9,12 @@
 """
 
 from .async_plurality import AsyncPluralityConsensus, AsyncPluralityProtocol, ClockSkew
-from .base import CountsProtocol, SequentialProtocol, SynchronousProtocol
+from .base import (
+    CountsProtocol,
+    SequentialCountsProtocol,
+    SequentialProtocol,
+    SynchronousProtocol,
+)
 from .endgame import near_consensus_start, run_endgame
 from .lossy import LossyProtocol
 from .one_extra_bit import (
@@ -34,21 +39,33 @@ from .schedule import (
     default_sync_samples,
 )
 from .sync_gadget import SyncSampleBuffer, jump_target, median_of_samples
-from .three_majority import ThreeMajorityCounts, ThreeMajoritySequential, ThreeMajoritySynchronous
-from .two_choices import TwoChoicesCounts, TwoChoicesSequential, TwoChoicesSynchronous
+from .three_majority import (
+    ThreeMajorityCounts,
+    ThreeMajoritySequential,
+    ThreeMajoritySequentialCounts,
+    ThreeMajoritySynchronous,
+)
+from .two_choices import (
+    TwoChoicesCounts,
+    TwoChoicesSequential,
+    TwoChoicesSequentialCounts,
+    TwoChoicesSynchronous,
+)
 from .two_choices_fast import two_choices_sequential_fast
 from .undecided_state import (
     UndecidedStateCounts,
     UndecidedStateSequential,
+    UndecidedStateSequentialCounts,
     UndecidedStateSynchronous,
 )
-from .voter import VoterCounts, VoterSequential, VoterSynchronous
+from .voter import VoterCounts, VoterSequential, VoterSequentialCounts, VoterSynchronous
 
 __all__ = [
     "AsyncPluralityConsensus",
     "ClockSkew",
     "AsyncPluralityProtocol",
     "CountsProtocol",
+    "SequentialCountsProtocol",
     "SequentialProtocol",
     "SynchronousProtocol",
     "near_consensus_start",
@@ -78,15 +95,19 @@ __all__ = [
     "median_of_samples",
     "ThreeMajorityCounts",
     "ThreeMajoritySequential",
+    "ThreeMajoritySequentialCounts",
     "ThreeMajoritySynchronous",
     "TwoChoicesCounts",
     "TwoChoicesSequential",
+    "TwoChoicesSequentialCounts",
     "TwoChoicesSynchronous",
     "two_choices_sequential_fast",
     "UndecidedStateCounts",
     "UndecidedStateSequential",
+    "UndecidedStateSequentialCounts",
     "UndecidedStateSynchronous",
     "VoterCounts",
     "VoterSequential",
+    "VoterSequentialCounts",
     "VoterSynchronous",
 ]

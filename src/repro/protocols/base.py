@@ -19,6 +19,13 @@ protocol may implement up to three complementary interfaces:
     *target selection* and *apply*, which lets the continuous-time
     engine inject response delays (the Discussion-section extension)
     without protocols knowing about it.
+:class:`SequentialCountsProtocol`
+    Tick-based on ``K_n`` at the level of colour *counts*: the exact
+    conditional law of a single tick given the histogram, expressed as
+    a row-stochastic transition matrix.  This is the asynchronous
+    counterpart of :class:`CountsProtocol` and what powers the batched
+    tick engines in :mod:`repro.engine.counts_async` (paper-scale
+    asynchronous sweeps at ``n`` up to ``10^8`` and beyond).
 
 Protocols are stateless policy objects; all mutable simulation state
 lives in :class:`~repro.core.state.NodeArrayState` (or a subclass), so
@@ -41,6 +48,8 @@ __all__ = [
     "SynchronousProtocol",
     "CountsProtocol",
     "SequentialProtocol",
+    "SequentialCountsProtocol",
+    "self_excluded_sample_probabilities",
 ]
 
 
@@ -131,6 +140,99 @@ class SequentialProtocol(ABC):
         observed = state.colors[targets] if len(targets) else np.empty(0, dtype=np.int64)
         self.tick_apply(state, node, observed)
 
+    def seq_tick_batch(self, state: NodeArrayState, nodes: np.ndarray, topology: Topology, rng: np.random.Generator) -> None:
+        """Apply one instantaneous tick per entry of *nodes*, in order.
+
+        Equal in law to calling :meth:`seq_tick` once per node: target
+        *identities* are state-independent, so subclasses may presample
+        every tick's targets through one vectorised topology call and
+        then apply the ticks sequentially, reading each target's colour
+        at apply time (the read must see writes from earlier ticks in
+        the same batch).  The default implementation just loops; the
+        overrides remove the per-tick RNG and dispatch overhead, which
+        dominates the asynchronous engines' run time in Python.
+        """
+        for node in nodes:
+            self.seq_tick(state, int(node), topology, rng)
+
+    def as_sequential_counts(self) -> Optional["SequentialCountsProtocol"]:
+        """Counts-level realisation of this tick rule on ``K_n``.
+
+        Returns ``None`` when no exact counts-level form is known (the
+        default); protocols whose tick law depends on the colour
+        histogram only override this so
+        :func:`repro.engine.dispatch.fastest_engine` can route runs on
+        the complete graph through the batched counts engines.
+        """
+        return None
+
     def is_absorbed(self, state: NodeArrayState) -> bool:
         """True when no future tick can change the state."""
         return state.is_consensus()
+
+
+class SequentialCountsProtocol(ABC):
+    """Exact counts-level form of a sequential tick rule on ``K_n``.
+
+    A tick of the sequential model picks a uniformly random acting node
+    and lets it update from sampled neighbour colours.  On the complete
+    graph with uniform sampling the conditional law of the tick given
+    the colour histogram ``c`` factors as
+
+    1. the acting node has label ``i`` with probability ``c_i / n``;
+    2. given ``i``, the node ends the tick with label ``j`` with
+       probability ``P[i, j]`` — a function of ``c`` alone.
+
+    Implementations supply the row-stochastic matrix ``P`` via
+    :meth:`tick_transition_matrix`; the engines in
+    :mod:`repro.engine.counts_async` compose it into exact single-tick
+    chains (batch size 1) or frozen-rate batched multinomial updates
+    (the fast path — see the module docstring for the exactness
+    argument and the error budget of batching).
+
+    The label space may be wider than the colour space (Undecided-State
+    appends an "undecided" bucket); :meth:`color_counts` projects the
+    internal histogram to whatever the stop conditions should see.
+    """
+
+    name: str = "sequential-counts-protocol"
+
+    @abstractmethod
+    def init_counts(self, config: ColorConfiguration) -> np.ndarray:
+        """Label histogram (``int64[m]``) for an initial configuration."""
+
+    @abstractmethod
+    def tick_transition_matrix(self, counts: np.ndarray) -> np.ndarray:
+        """Row-stochastic ``float[m, m]``: ``P[i, j]`` is the probability
+        that an acting node with label ``i`` ends the tick with label
+        ``j``, given the current histogram *counts*.
+
+        Rows of *empty* label classes are never drawn from and their
+        content is ignored — the engines overwrite them with identity
+        rows before sampling, so implementations need not special-case
+        them.
+        """
+
+    def color_counts(self, counts: np.ndarray) -> np.ndarray:
+        """Project the internal histogram to the reported counts."""
+        return counts
+
+    def is_absorbed(self, counts: np.ndarray) -> bool:
+        """True when the histogram is a fixed point of the tick chain."""
+        return int(counts.max()) == int(counts.sum())
+
+
+def self_excluded_sample_probabilities(counts: np.ndarray) -> np.ndarray:
+    """``Q[i, j]``: probability a node of label ``i`` samples label ``j``.
+
+    On ``K_n`` a node samples uniformly among its ``n - 1`` neighbours,
+    i.e. everyone but itself, so a label-``i`` node sees label-``j``
+    mass ``c_j - [i == j]``.  Rows of empty classes are clipped to
+    valid (all-zero on the diagonal deficit) — callers overwrite them.
+    """
+    counts = np.asarray(counts, dtype=float)
+    n = counts.sum()
+    q = np.repeat(counts[None, :], counts.size, axis=0)
+    np.fill_diagonal(q, counts - 1.0)
+    q /= n - 1.0
+    return np.clip(q, 0.0, None)

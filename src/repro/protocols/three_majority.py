@@ -21,9 +21,32 @@ import numpy as np
 from ..core.colors import ColorConfiguration
 from ..core.state import NodeArrayState
 from ..graphs.topology import Topology
-from .base import CountsProtocol, SequentialProtocol, SynchronousProtocol
+from .base import (
+    CountsProtocol,
+    SequentialCountsProtocol,
+    SequentialProtocol,
+    SynchronousProtocol,
+    self_excluded_sample_probabilities,
+)
 
-__all__ = ["ThreeMajoritySynchronous", "ThreeMajorityCounts", "ThreeMajoritySequential"]
+__all__ = [
+    "ThreeMajoritySynchronous",
+    "ThreeMajorityCounts",
+    "ThreeMajoritySequential",
+    "ThreeMajoritySequentialCounts",
+]
+
+
+def _adoption_probabilities(q: np.ndarray) -> np.ndarray:
+    """P(adopted colour = j) for one node with sample distribution *q*.
+
+    Vectorised over rows when *q* is 2-D (one row per actor colour);
+    the three terms are "all three j", "exactly two j", and "all three
+    distinct with first sample j" (see the module docstring).
+    """
+    s2 = np.sum(q * q, axis=-1, keepdims=True)
+    adopt = q**3 + 3.0 * q**2 * (1.0 - q) + q * ((1.0 - q) ** 2 - (s2 - q**2))
+    return np.clip(adopt, 0.0, None)
 
 
 def _majority_of_three(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
@@ -69,9 +92,7 @@ class ThreeMajorityCounts(CountsProtocol):
             q[i] -= 1.0  # self-exclusion
             q /= n - 1
             q = np.clip(q, 0.0, None)
-            s2 = float(np.sum(q * q))
-            adopt = q**3 + 3.0 * q**2 * (1.0 - q) + q * ((1.0 - q) ** 2 - (s2 - q**2))
-            adopt = np.clip(adopt, 0.0, None)
+            adopt = _adoption_probabilities(q)
             total = float(adopt.sum())
             # Unlike Two-Choices, 3-Majority always adopts a sampled
             # colour, so the adopt probabilities sum to one exactly
@@ -100,3 +121,44 @@ class ThreeMajoritySequential(SequentialProtocol):
             state.colors[node] = b
         else:
             state.colors[node] = a
+
+    def seq_tick_batch(self, state: NodeArrayState, nodes: np.ndarray, topology: Topology, rng: np.random.Generator) -> None:
+        # Presample all three target identities per tick in vectorised
+        # calls; colours are read at apply time.
+        nodes = np.asarray(nodes, dtype=np.int64)
+        first = topology.sample_neighbors_many(nodes, rng)
+        second = topology.sample_neighbors_many(nodes, rng)
+        third = topology.sample_neighbors_many(nodes, rng)
+        colors = state.colors
+        for node, u, v, w in zip(nodes.tolist(), first.tolist(), second.tolist(), third.tolist()):
+            a = colors[u]
+            b = colors[v]
+            if b == colors[w] and a != b:
+                colors[node] = b
+            else:
+                colors[node] = a
+
+    def as_sequential_counts(self) -> "ThreeMajoritySequentialCounts":
+        return ThreeMajoritySequentialCounts()
+
+
+class ThreeMajoritySequentialCounts(SequentialCountsProtocol):
+    """Exact counts-level tick law of sequential 3-Majority on ``K_n``.
+
+    A tick always adopts one of the three sampled colours, so the
+    transition row of an acting colour-``i`` node is the adoption
+    distribution itself (which may return mass to ``i``).
+    """
+
+    name = "three-majority/seq-counts"
+
+    def init_counts(self, config: ColorConfiguration) -> np.ndarray:
+        return np.asarray(config.counts, dtype=np.int64)
+
+    def tick_transition_matrix(self, counts: np.ndarray) -> np.ndarray:
+        q = self_excluded_sample_probabilities(counts)
+        transition = _adoption_probabilities(q)
+        # The adoption law is exhaustive; renormalise float error away.
+        totals = transition.sum(axis=1, keepdims=True)
+        np.divide(transition, totals, out=transition, where=totals > 0)
+        return transition

@@ -17,20 +17,35 @@ Three interchangeable realisations are provided:
 * :class:`TwoChoicesSequential` — the tick-based rule used by the
   sequential and continuous asynchronous engines (and by the endgame of
   the paper's main protocol).
+* :class:`TwoChoicesSequentialCounts` — the exact counts-level *tick*
+  law on ``K_n`` for the batched asynchronous engines
+  (:mod:`repro.engine.counts_async`): an acting node of colour ``i``
+  switches to ``j != i`` with probability ``((c_j - [i == j]) / (n - 1))^2``.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..core.colors import ColorConfiguration
 from ..core.state import NodeArrayState
 from ..graphs.topology import Topology
-from .base import CountsProtocol, SequentialProtocol, SynchronousProtocol
+from .base import (
+    CountsProtocol,
+    SequentialCountsProtocol,
+    SequentialProtocol,
+    SynchronousProtocol,
+    self_excluded_sample_probabilities,
+)
 
-__all__ = ["TwoChoicesSynchronous", "TwoChoicesCounts", "TwoChoicesSequential"]
+__all__ = [
+    "TwoChoicesSynchronous",
+    "TwoChoicesCounts",
+    "TwoChoicesSequential",
+    "TwoChoicesSequentialCounts",
+]
 
 
 class TwoChoicesSynchronous(SynchronousProtocol):
@@ -67,19 +82,29 @@ class TwoChoicesCounts(CountsProtocol):
         k = counts.size
         new_counts = np.zeros(k, dtype=np.int64)
         base = counts.astype(float)
+        # One (k+1)-slot pvals buffer reused across all colour classes:
+        # slots 0..k-1 hold the adopt probabilities, slot k the keep
+        # mass.  No per-class copies or concatenations.
+        pvals = np.empty(k + 1)
+        adopt = pvals[:k]
         for i in range(k):
             group = int(counts[i])
             if group == 0:
                 continue
             # Sampling excludes the caller itself: a colour-i node sees
             # colour-j mass (c_j - [i == j]) among its n-1 neighbours.
-            probs_one = base.copy()
-            probs_one[i] -= 1.0
-            probs_one /= n - 1
-            adopt = probs_one * probs_one
-            keep = max(0.0, 1.0 - float(adopt.sum()))
-            pvals = np.concatenate([adopt, [keep]])
-            pvals /= pvals.sum()
+            np.copyto(adopt, base)
+            adopt[i] -= 1.0
+            adopt /= n - 1
+            np.multiply(adopt, adopt, out=adopt)
+            keep = 1.0 - float(adopt.sum())
+            if keep >= 0.0:
+                pvals[k] = keep
+            else:
+                # Float error pushed the adopt mass past one; clip and
+                # renormalise (only then is the division needed).
+                pvals[k] = 0.0
+                pvals /= pvals.sum()
             draws = rng.multinomial(group, pvals)
             new_counts += draws[:k]
             new_counts[i] += draws[k]
@@ -100,3 +125,39 @@ class TwoChoicesSequential(SequentialProtocol):
     def tick_apply(self, state: NodeArrayState, node: int, observed_colors: np.ndarray) -> None:
         if len(observed_colors) == 2 and observed_colors[0] == observed_colors[1]:
             state.colors[node] = observed_colors[0]
+
+    def seq_tick_batch(self, state: NodeArrayState, nodes: np.ndarray, topology: Topology, rng: np.random.Generator) -> None:
+        # Presample both targets of every tick in one vectorised call
+        # (target identities are state-independent); colours are read at
+        # apply time so each tick sees earlier ticks' writes.
+        nodes = np.asarray(nodes, dtype=np.int64)
+        pairs = topology.sample_neighbor_pairs(nodes, rng)
+        colors = state.colors
+        for node, first, second in zip(nodes.tolist(), pairs[:, 0].tolist(), pairs[:, 1].tolist()):
+            seen = colors[first]
+            if seen == colors[second]:
+                colors[node] = seen
+
+    def as_sequential_counts(self) -> "TwoChoicesSequentialCounts":
+        return TwoChoicesSequentialCounts()
+
+
+class TwoChoicesSequentialCounts(SequentialCountsProtocol):
+    """Exact counts-level tick law of sequential Two-Choices on ``K_n``.
+
+    ``P[i, j] = q_j^2`` for ``j != i`` where ``q`` is the self-excluded
+    sample distribution of a colour-``i`` node; the diagonal carries the
+    keep mass (own colour, or the two samples disagreed).
+    """
+
+    name = "two-choices/seq-counts"
+
+    def init_counts(self, config: ColorConfiguration) -> np.ndarray:
+        return np.asarray(config.counts, dtype=np.int64)
+
+    def tick_transition_matrix(self, counts: np.ndarray) -> np.ndarray:
+        q = self_excluded_sample_probabilities(counts)
+        transition = q * q
+        np.fill_diagonal(transition, 0.0)
+        np.fill_diagonal(transition, np.clip(1.0 - transition.sum(axis=1), 0.0, 1.0))
+        return transition

@@ -28,9 +28,20 @@ import numpy as np
 from ..core.colors import ColorConfiguration
 from ..core.state import NodeArrayState
 from ..graphs.topology import Topology
-from .base import CountsProtocol, SequentialProtocol, SynchronousProtocol
+from .base import (
+    CountsProtocol,
+    SequentialCountsProtocol,
+    SequentialProtocol,
+    SynchronousProtocol,
+    self_excluded_sample_probabilities,
+)
 
-__all__ = ["UndecidedStateSynchronous", "UndecidedStateCounts", "UndecidedStateSequential"]
+__all__ = [
+    "UndecidedStateSynchronous",
+    "UndecidedStateCounts",
+    "UndecidedStateSequential",
+    "UndecidedStateSequentialCounts",
+]
 
 
 def _make_state_with_undecided(colors: np.ndarray, k: int) -> NodeArrayState:
@@ -143,5 +154,58 @@ class UndecidedStateSequential(SequentialProtocol):
 
     def is_absorbed(self, state: NodeArrayState) -> bool:
         counts = state.counts()
+        support = int(np.count_nonzero(counts[:-1]))
+        return (support <= 1 and counts[-1] == 0) or support == 0
+
+    def seq_tick_batch(self, state: NodeArrayState, nodes: np.ndarray, topology: Topology, rng: np.random.Generator) -> None:
+        # Presampled target identities; colour reads at apply time.
+        nodes = np.asarray(nodes, dtype=np.int64)
+        targets = topology.sample_neighbors_many(nodes, rng)
+        colors = state.colors
+        undecided = state.k - 1
+        for node, target in zip(nodes.tolist(), targets.tolist()):
+            seen = colors[target]
+            if seen == undecided:
+                continue
+            if colors[node] == undecided:
+                colors[node] = seen
+            elif seen != colors[node]:
+                colors[node] = undecided
+
+    def as_sequential_counts(self) -> "UndecidedStateSequentialCounts":
+        return UndecidedStateSequentialCounts()
+
+
+class UndecidedStateSequentialCounts(SequentialCountsProtocol):
+    """Exact counts-level tick law of sequential USD on ``K_n``.
+
+    Label space: colours ``0..k-1`` plus the undecided bucket last,
+    matching the other USD realisations.  With ``q`` the self-excluded
+    sample distribution of an acting label-``i`` node:
+
+    * decided ``i``: stays with probability ``q_i + q_undecided``, turns
+      undecided otherwise (a different decided sample);
+    * undecided: adopts decided ``j`` with probability ``q_j``, stays
+      undecided with probability ``q_undecided``.
+    """
+
+    name = "undecided-state/seq-counts"
+
+    def init_counts(self, config: ColorConfiguration) -> np.ndarray:
+        return np.asarray(list(config.counts) + [0], dtype=np.int64)
+
+    def tick_transition_matrix(self, counts: np.ndarray) -> np.ndarray:
+        m = np.asarray(counts).size
+        undecided = m - 1
+        q = self_excluded_sample_probabilities(counts)
+        transition = np.zeros((m, m))
+        stay = np.clip(q.diagonal() + q[:, undecided], 0.0, 1.0)
+        idx = np.arange(undecided)
+        transition[idx, idx] = stay[:undecided]
+        transition[idx, undecided] = 1.0 - stay[:undecided]
+        transition[undecided, :] = q[undecided]
+        return transition
+
+    def is_absorbed(self, counts: np.ndarray) -> bool:
         support = int(np.count_nonzero(counts[:-1]))
         return (support <= 1 and counts[-1] == 0) or support == 0

@@ -16,9 +16,15 @@ import numpy as np
 from ..core.colors import ColorConfiguration
 from ..core.state import NodeArrayState
 from ..graphs.topology import Topology
-from .base import CountsProtocol, SequentialProtocol, SynchronousProtocol
+from .base import (
+    CountsProtocol,
+    SequentialCountsProtocol,
+    SequentialProtocol,
+    SynchronousProtocol,
+    self_excluded_sample_probabilities,
+)
 
-__all__ = ["VoterSynchronous", "VoterCounts", "VoterSequential"]
+__all__ = ["VoterSynchronous", "VoterCounts", "VoterSequential", "VoterSequentialCounts"]
 
 
 class VoterSynchronous(SynchronousProtocol):
@@ -73,3 +79,30 @@ class VoterSequential(SequentialProtocol):
     def tick_apply(self, state: NodeArrayState, node: int, observed_colors: np.ndarray) -> None:
         if len(observed_colors):
             state.colors[node] = observed_colors[0]
+
+    def seq_tick_batch(self, state: NodeArrayState, nodes: np.ndarray, topology: Topology, rng: np.random.Generator) -> None:
+        # Presampled target identities; colour reads at apply time.
+        nodes = np.asarray(nodes, dtype=np.int64)
+        targets = topology.sample_neighbors_many(nodes, rng)
+        colors = state.colors
+        for node, target in zip(nodes.tolist(), targets.tolist()):
+            colors[node] = colors[target]
+
+    def as_sequential_counts(self) -> "VoterSequentialCounts":
+        return VoterSequentialCounts()
+
+
+class VoterSequentialCounts(SequentialCountsProtocol):
+    """Exact counts-level tick law of sequential Voter on ``K_n``.
+
+    The acting node simply adopts its sample, so ``P[i] = q`` — the
+    self-excluded sample distribution of a colour-``i`` node.
+    """
+
+    name = "voter/seq-counts"
+
+    def init_counts(self, config: ColorConfiguration) -> np.ndarray:
+        return np.asarray(config.counts, dtype=np.int64)
+
+    def tick_transition_matrix(self, counts: np.ndarray) -> np.ndarray:
+        return self_excluded_sample_probabilities(counts)
