@@ -70,6 +70,14 @@ def test_engine_family_perf(benchmark):
             assert counts_seconds < rows["sequential/per-tick"]["mean_seconds"]
         if n >= 100_000 and "sequential" in rows:
             assert counts_seconds < rows["sequential"]["mean_seconds"]
+    # The ensemble path beats the looped run_trials path wherever the
+    # per-run cost is dominated by batch-loop overhead (n >= 1e5; at
+    # 1e4 a run is a handful of batches and both paths are < 0.1 s).
+    assert payload["ensemble"], "no ensemble comparison was timed"
+    assert all(entry["all_converged"] for entry in payload["ensemble"])
+    for entry in payload["ensemble"]:
+        if entry["n"] >= 100_000 and entry["reps"] >= 100:
+            assert entry["speedup"] > 1.0, entry
     if skipped:
         print(f"skipped above their size caps: {sorted(skipped)}")
 

@@ -50,7 +50,9 @@ from .engine import (
     SequentialEngine,
     SynchronousEngine,
     consensus_reached,
+    fastest_engine,
     near_consensus,
+    run_replicated,
 )
 from .graphs import CompleteGraph, erdos_renyi, ring, torus
 from .protocols import (
@@ -72,6 +74,7 @@ from .protocols import (
 from .workloads import (
     additive_gap,
     balanced,
+    convergence_time_sweep,
     multiplicative_bias,
     power_law,
     theorem_1_1_gap,
@@ -97,7 +100,9 @@ __all__ = [
     "SequentialEngine",
     "SynchronousEngine",
     "consensus_reached",
+    "fastest_engine",
     "near_consensus",
+    "run_replicated",
     "CompleteGraph",
     "erdos_renyi",
     "ring",
@@ -122,5 +127,6 @@ __all__ = [
     "power_law",
     "theorem_1_1_gap",
     "two_colors",
+    "convergence_time_sweep",
     "__version__",
 ]

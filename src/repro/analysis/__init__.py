@@ -24,6 +24,7 @@ from .statistics import (
     estimate_success,
     fit_log_slope,
     fit_power_law,
+    ks_permutation_test,
     summarize,
     wilson_interval,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "estimate_success",
     "fit_log_slope",
     "fit_power_law",
+    "ks_permutation_test",
     "summarize",
     "wilson_interval",
     "theory",

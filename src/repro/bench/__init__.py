@@ -1,7 +1,7 @@
 """Benchmark harness: the experiment registry and its plumbing."""
 
 from .experiments import EXPERIMENTS, experiment_ids, run_all, run_experiment
-from .harness import FULL, QUICK, ExperimentReport, ExperimentScale, run_trials
+from .harness import FULL, QUICK, ExperimentReport, ExperimentScale, run_engine_trials, run_trials
 from .report import render_markdown_table, render_payload, render_report
 from .store import ResultStore
 from .tables import format_table
@@ -16,6 +16,7 @@ __all__ = [
     "ExperimentReport",
     "ExperimentScale",
     "run_trials",
+    "run_engine_trials",
     "ResultStore",
     "render_markdown_table",
     "render_payload",

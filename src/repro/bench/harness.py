@@ -17,10 +17,18 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from ..core.rng import SeedLike, spawn_seeds
+from ..core.rng import SeedLike, spawn_seed_sequences
+from ..engine.ensemble import run_replicated
 from .tables import format_table
 
-__all__ = ["ExperimentScale", "ExperimentReport", "run_trials", "QUICK", "FULL"]
+__all__ = [
+    "ExperimentScale",
+    "ExperimentReport",
+    "run_trials",
+    "run_engine_trials",
+    "QUICK",
+    "FULL",
+]
 
 
 @dataclass(frozen=True)
@@ -93,13 +101,31 @@ class ExperimentReport:
         }
 
 
-def run_trials(fn: Callable[[int], object], trials: int, seed: SeedLike) -> List[object]:
-    """Run ``fn(trial_seed)`` *trials* times with independent seeds.
+def run_trials(fn: Callable[[object], object], trials: int, seed: SeedLike) -> List[object]:
+    """Run ``fn(trial_seed)`` *trials* times with independent streams.
 
-    The trial seeds are a pure function of the master seed, so any
-    individual trial can be replayed in isolation.
+    Trial *i* receives child *i* of
+    ``np.random.SeedSequence(master).spawn(trials)`` (see the seeding
+    contract in DESIGN.md, "Ensemble semantics"): the children are
+    provably independent, a pure function of the master seed, and any
+    individual trial can be replayed in isolation.  ``fn`` may pass the
+    child anywhere a ``seed`` argument is accepted.
     """
-    return [fn(s) for s in spawn_seeds(seed, trials)]
+    return [fn(s) for s in spawn_seed_sequences(seed, trials)]
+
+
+def run_engine_trials(engine, config, trials: int, seed: SeedLike, **run_kwargs) -> List[object]:
+    """Collect *trials* :class:`~repro.core.results.RunResult`\\ s from
+    *engine* on *config*, replication-vectorised when possible.
+
+    Engines built with ``fastest_engine(..., n_reps=trials)`` expose
+    ``run_ensemble`` on eligible (protocol, ``K_n``) pairs; those
+    advance all trials per numpy batch in one call.  Everything else
+    falls back to the looped :func:`run_trials` path.  Both paths draw
+    every trial from the same law, so experiments can treat the routing
+    as a pure wall-clock optimisation.
+    """
+    return run_replicated(engine, config, trials, seed=seed, **run_kwargs)
 
 
 class timed:

@@ -17,6 +17,15 @@ The workload is fixed — asynchronous Two-Choices on ``K_n`` from a
   :func:`repro.engine.dispatch.fastest_engine` so the benchmark also
   exercises the dispatch wiring.
 
+On top of the single-run engine table, the payload carries an
+*ensemble* section: for each ``R`` in ``ensemble_reps`` it times R
+replications the looped way (one ``CountsSequentialEngine.run`` per
+replication — the ``run_trials`` path before the ensemble layer)
+against one ``EnsembleCountsSequentialEngine.run_ensemble`` call, and
+records the speedup.  The acceptance criterion of the ensemble PR —
+at least 10x over the looped path at ``n = 10^6``, ``R = 100`` — is
+emitted under ``criteria``.
+
 ``python -m repro engines`` and ``benchmarks/bench_perf_engines.py``
 both call :func:`benchmark_engines` and persist the JSON payload
 (``BENCH_engines.json`` at the repo root by convention) so the perf
@@ -32,7 +41,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..core.colors import ColorConfiguration
+from ..core.rng import spawn_seed_sequences
 from ..engine.continuous import ContinuousEngine
 from ..engine.dispatch import fastest_engine
 from ..engine.sequential import SequentialEngine
@@ -40,12 +49,23 @@ from ..graphs.complete import CompleteGraph
 from ..protocols.base import SequentialProtocol
 from ..protocols.two_choices import TwoChoicesSequential
 from ..protocols.two_choices_fast import two_choices_sequential_fast
+from ..workloads.initial import benchmark_split
 
-__all__ = ["benchmark_engines", "save_payload", "main", "DEFAULT_NS", "QUICK_NS"]
+__all__ = [
+    "benchmark_engines",
+    "save_payload",
+    "main",
+    "DEFAULT_NS",
+    "QUICK_NS",
+    "ENSEMBLE_REPS",
+]
 
 #: sizes of the standard sweep (the full run adds the headline 10^8).
 DEFAULT_NS = (10_000, 100_000, 1_000_000)
 QUICK_NS = (10_000, 100_000)
+
+#: replication counts of the looped-vs-ensemble comparison.
+ENSEMBLE_REPS = (10, 100)
 
 _BASELINE = "sequential/per-tick"
 
@@ -97,26 +117,79 @@ def _engine_specs():
     ]
 
 
+def _benchmark_ensemble(
+    ns: Sequence[int],
+    ensemble_reps: Sequence[int],
+    seed: int,
+) -> List[Dict]:
+    """Looped vs ensemble replication timing on async Two-Choices.
+
+    The looped side is the pre-ensemble ``run_trials`` path: R
+    independent ``CountsSequentialEngine.run`` calls on spawned child
+    streams.  The ensemble side is a single
+    ``EnsembleCountsSequentialEngine.run_ensemble`` call advancing all
+    R replications per numpy batch.
+    """
+    rows: List[Dict] = []
+    for n in ns:
+        if n > 1_000_000:
+            # The criterion lives at n = 1e6; above that the looped
+            # side alone would dominate the benchmark's wall time.
+            continue
+        config = benchmark_split(n)
+        topology = CompleteGraph(n)
+        looped_engine = fastest_engine(TwoChoicesSequential(), topology, model="sequential")
+        ensemble_engine = fastest_engine(
+            TwoChoicesSequential(), topology, model="sequential", n_reps=max(ensemble_reps)
+        )
+        for reps in ensemble_reps:
+            start = time.perf_counter()
+            looped = [
+                looped_engine.run(config, seed=child)
+                for child in spawn_seed_sequences(seed, reps)
+            ]
+            looped_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            ensembled = ensemble_engine.run_ensemble(config, n_reps=reps, seed=seed)
+            ensemble_seconds = time.perf_counter() - start
+            rows.append(
+                {
+                    "n": int(n),
+                    "reps": int(reps),
+                    "looped_seconds": looped_seconds,
+                    "ensemble_seconds": ensemble_seconds,
+                    "speedup": looped_seconds / ensemble_seconds,
+                    "all_converged": bool(
+                        all(r.converged for r in looped) and all(r.converged for r in ensembled)
+                    ),
+                }
+            )
+    return rows
+
+
 def benchmark_engines(
     ns: Sequence[int] = DEFAULT_NS,
     trials: int = 3,
     seed: int = 20170725,
     baseline_max_n: Optional[int] = None,
+    ensemble_reps: Sequence[int] = ENSEMBLE_REPS,
 ) -> Dict:
     """Time every engine on the fixed workload for each ``n`` in *ns*.
 
     Returns the JSON-ready payload: per-(n, engine) mean seconds and
     run statistics, per-n speedups relative to the per-tick baseline,
-    and the headline criteria other tooling checks mechanically.
-    Engines whose cost scales with ``n`` in Python are skipped above
-    their ``max_n`` (recorded as ``skipped`` entries so the table shape
-    is stable); *baseline_max_n* lowers the per-tick cap for quick CI
+    the looped-vs-ensemble replication comparison for each ``R`` in
+    *ensemble_reps* (pass an empty sequence to skip it), and the
+    headline criteria other tooling checks mechanically.  Engines
+    whose cost scales with ``n`` in Python are skipped above their
+    ``max_n`` (recorded as ``skipped`` entries so the table shape is
+    stable); *baseline_max_n* lowers the per-tick cap for quick CI
     runs.
     """
     specs = _engine_specs()
     results: List[Dict] = []
     for n in ns:
-        config = ColorConfiguration([int(round(0.6 * n)), n - int(round(0.6 * n))])
+        config = benchmark_split(n)
         for key, max_n, factory in specs:
             cap = max_n
             if key == _BASELINE and baseline_max_n is not None:
@@ -185,6 +258,20 @@ def benchmark_engines(
         criteria["counts_seq_1e8_seconds"] = headline[0]["mean_seconds"]
         criteria["counts_seq_1e8_under_60s"] = headline[0]["mean_seconds"] < 60.0
 
+    ensemble_rows = _benchmark_ensemble(ns, ensemble_reps, seed) if ensemble_reps else []
+    if ensemble_rows:
+        # Criterion at the largest covered (n, R) cell: the ensemble PR
+        # promises >= 10x over the looped run_trials path at n = 1e6,
+        # R = 100; quick CI runs record the same cell at their own
+        # largest n instead of silently dropping the criterion.
+        top = max(ensemble_rows, key=lambda row: (row["n"], row["reps"]))
+        criteria["ensemble_reference_n"] = top["n"]
+        criteria["ensemble_reference_reps"] = top["reps"]
+        criteria["ensemble_speedup_vs_looped"] = top["speedup"]
+        criteria["ensemble_faster_than_looped"] = top["speedup"] > 1.0
+        if top["n"] >= 1_000_000 and top["reps"] >= 100:
+            criteria["ensemble_speedup_at_1e6_r100_ge_10x"] = top["speedup"] >= 10.0
+
     return {
         "benchmark": "engine-family/async-two-choices",
         "workload": "Two-Choices on K_n, counts (0.6n, 0.4n), run to consensus",
@@ -194,6 +281,7 @@ def benchmark_engines(
         "baseline": _BASELINE,
         "results": results,
         "speedups_vs_per_tick": speedups,
+        "ensemble": ensemble_rows,
         "criteria": criteria,
         "environment": {
             "python": platform.python_version(),
@@ -232,6 +320,23 @@ def format_payload(payload: Dict) -> str:
     for n, per_engine in payload["speedups_vs_per_tick"].items():
         pretty = ", ".join(f"{key} {value:.0f}x" for key, value in sorted(per_engine.items()))
         lines.append(f"speedup vs {payload['baseline']} at n={n}: {pretty}")
+    if payload.get("ensemble"):
+        ensemble_rows = [
+            [
+                entry["n"],
+                entry["reps"],
+                f"{entry['looped_seconds']:.3f}s",
+                f"{entry['ensemble_seconds']:.3f}s",
+                f"{entry['speedup']:.1f}x",
+                "yes" if entry["all_converged"] else "NO",
+            ]
+            for entry in payload["ensemble"]
+        ]
+        lines.append("")
+        lines.append("replication paths (async Two-Choices, counts engines):")
+        lines.append(
+            format_table(["n", "reps", "looped", "ensemble", "speedup", "converged"], ensemble_rows)
+        )
     for name, value in payload["criteria"].items():
         lines.append(f"criterion {name}: {value}")
     return "\n".join(lines)
@@ -247,6 +352,12 @@ def add_cli_arguments(parser) -> None:
     parser.add_argument("--ns", default=None, help="comma-separated list of n values")
     parser.add_argument("--trials", type=int, default=3)
     parser.add_argument("--seed", type=int, default=20170725)
+    parser.add_argument(
+        "--reps",
+        default=None,
+        help="comma-separated replication counts for the looped-vs-ensemble "
+        "comparison (default 10,100; pass 0 to skip it)",
+    )
     parser.add_argument("--out", default=None, help="write the JSON payload to this path")
     parser.add_argument(
         "--quick", action="store_true", help="CI scale: n in {1e4, 1e5}, per-tick baseline capped at 1e4"
@@ -273,11 +384,20 @@ def run_cli(args, error) -> int:
         ns = list(QUICK_NS if args.quick else DEFAULT_NS)
     if args.headline and 10**8 not in ns:
         ns.append(10**8)
+    if args.reps is not None:
+        try:
+            ensemble_reps = [int(value) for value in args.reps.split(",")]
+        except ValueError:
+            error(f"--reps must be comma-separated integers, got {args.reps!r}")
+        ensemble_reps = [reps for reps in ensemble_reps if reps > 0]
+    else:
+        ensemble_reps = list(ENSEMBLE_REPS)
     payload = benchmark_engines(
         ns=ns,
         trials=args.trials,
         seed=args.seed,
         baseline_max_n=10_000 if args.quick else None,
+        ensemble_reps=ensemble_reps,
     )
     print(format_payload(payload))
     if args.out:

@@ -23,7 +23,7 @@ from .exceptions import (
     TopologyError,
 )
 from .results import RunResult, Trace, TracePoint
-from .rng import as_generator, random_seed, spawn_seeds, split
+from .rng import as_generator, random_seed, spawn_seed_sequences, spawn_seeds, split
 from .state import NO_COLOR, AsyncNodeState, NodeArrayState
 
 __all__ = [
@@ -43,6 +43,7 @@ __all__ = [
     "as_generator",
     "random_seed",
     "spawn_seeds",
+    "spawn_seed_sequences",
     "split",
     "NO_COLOR",
     "AsyncNodeState",

@@ -23,7 +23,14 @@ import numpy as np
 
 SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
 
-__all__ = ["SeedLike", "as_generator", "split", "spawn_seeds", "random_seed"]
+__all__ = [
+    "SeedLike",
+    "as_generator",
+    "split",
+    "spawn_seeds",
+    "spawn_seed_sequences",
+    "random_seed",
+]
 
 
 def as_generator(seed: SeedLike = None) -> np.random.Generator:
@@ -51,6 +58,9 @@ def split(seed: SeedLike, key: str) -> np.random.Generator:
     For integer seeds the child is a pure function of ``(seed, key)``;
     for ``None`` the child is fresh entropy; for an existing generator
     the child is spawned from it (advancing the parent's spawn counter).
+    A ``SeedSequence`` keeps its own ``spawn_key`` and appends the key
+    material, so children split from *different spawned siblings* stay
+    mutually independent.
     """
     if isinstance(seed, np.random.Generator):
         return np.random.default_rng(seed.bit_generator.seed_seq.spawn(1)[0])
@@ -58,7 +68,9 @@ def split(seed: SeedLike, key: str) -> np.random.Generator:
     if seed is None:
         return np.random.default_rng()
     if isinstance(seed, np.random.SeedSequence):
-        return np.random.default_rng(np.random.SeedSequence(entropy=seed.entropy, spawn_key=(material,)))
+        return np.random.default_rng(
+            np.random.SeedSequence(entropy=seed.entropy, spawn_key=seed.spawn_key + (material,))
+        )
     return np.random.default_rng(np.random.SeedSequence(entropy=int(seed), spawn_key=(material,)))
 
 
@@ -75,6 +87,34 @@ def spawn_seeds(seed: SeedLike, count: int) -> list:
         return [int(s) for s in seed.integers(0, 2**63 - 1, size=count)]
     rng = as_generator(seed)
     return [int(s) for s in rng.integers(0, 2**63 - 1, size=count)]
+
+
+def spawn_seed_sequences(seed: SeedLike, count: int) -> list:
+    """*count* independent :class:`numpy.random.SeedSequence` children.
+
+    This is the replication-seeding primitive of the experiment
+    harness (the contract is documented in DESIGN.md, "Ensemble
+    semantics"): trial *i* of a replicated run receives child *i* of
+    ``SeedSequence(master).spawn(count)``, so child streams are
+    provably independent, any single trial can be replayed in
+    isolation, and the list is a pure function of the master seed —
+    repeated calls with the same *seed* return the same children.
+    A ``Generator`` master spawns from its own seed sequence instead
+    (advancing the generator's spawn counter, like :func:`split`).
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        return list(seed.bit_generator.seed_seq.spawn(count))
+    if isinstance(seed, np.random.SeedSequence):
+        # Rebuild so the call is pure: spawning mutates the parent's
+        # child counter, and we want the same children every time.
+        root = np.random.SeedSequence(entropy=seed.entropy, spawn_key=seed.spawn_key)
+    elif seed is None:
+        root = np.random.SeedSequence()
+    else:
+        root = np.random.SeedSequence(int(seed))
+    return list(root.spawn(count))
 
 
 def random_seed() -> int:

@@ -12,6 +12,12 @@ from .counts import CountsEngine
 from .counts_async import CountsContinuousEngine, CountsSequentialEngine
 from .delays import DelayModel, ExponentialDelay, FixedDelay, NoDelay
 from .dispatch import fastest_engine
+from .ensemble import (
+    EnsembleCountsContinuousEngine,
+    EnsembleCountsEngine,
+    EnsembleCountsSequentialEngine,
+    run_replicated,
+)
 from .events import EventQueue
 from .sequential import SequentialEngine
 from .synchronous import SynchronousEngine
@@ -30,6 +36,10 @@ __all__ = [
     "ExponentialDelay",
     "FixedDelay",
     "NoDelay",
+    "EnsembleCountsContinuousEngine",
+    "EnsembleCountsEngine",
+    "EnsembleCountsSequentialEngine",
+    "run_replicated",
     "EventQueue",
     "SequentialEngine",
     "SynchronousEngine",

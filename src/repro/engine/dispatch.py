@@ -21,9 +21,17 @@ model               on ``K_n``               elsewhere / with delays
                     counts-level tick law
 ==================  =======================  ===============================
 
+When *n_reps* asks for more than one replication, the counts-level
+rows of the table are additionally lifted to their ensemble twins
+(:mod:`repro.engine.ensemble`), which advance all replications per
+numpy batch and expose ``run_ensemble`` instead of ``run``; rows with
+no exact ensemble form return the single-run engine and the caller
+loops (see :func:`repro.engine.ensemble.run_replicated`).
+
 Every returned engine draws from the *same law* as the engine it
-replaces (see the exactness notes in :mod:`repro.engine.counts_async`),
-so swapping in :func:`fastest_engine` changes wall-clock time only.
+replaces (see the exactness notes in :mod:`repro.engine.counts_async`
+and :mod:`repro.engine.ensemble`), so swapping in
+:func:`fastest_engine` changes wall-clock time only.
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ from ..core.exceptions import ConfigurationError
 from ..graphs.topology import Topology
 from ..protocols.base import (
     CountsProtocol,
+    EnsembleCountsProtocol,
     SequentialCountsProtocol,
     SequentialProtocol,
     SynchronousProtocol,
@@ -42,6 +51,11 @@ from .continuous import ContinuousEngine
 from .counts import CountsEngine
 from .counts_async import CountsContinuousEngine, CountsSequentialEngine
 from .delays import DelayModel
+from .ensemble import (
+    EnsembleCountsContinuousEngine,
+    EnsembleCountsEngine,
+    EnsembleCountsSequentialEngine,
+)
 from .sequential import SequentialEngine
 from .synchronous import SynchronousEngine
 
@@ -55,6 +69,7 @@ def fastest_engine(
     topology: Topology,
     model: str = "sequential",
     delay_model: Optional[DelayModel] = None,
+    n_reps: int = 1,
 ):
     """Build the fastest exact engine for *protocol* on *topology*.
 
@@ -72,14 +87,25 @@ def fastest_engine(
     delay_model:
         Response delays for the continuous model; a non-zero delay
         model forces the event-queue engine.
+    n_reps:
+        How many independent replications the caller wants.  With
+        ``n_reps > 1`` the counts-level routes return the
+        ensemble-vectorised engines (``run_ensemble`` instead of
+        ``run``) when an exact ensemble form exists; otherwise the
+        single-run engine is returned and the caller loops — use
+        :func:`repro.engine.ensemble.run_replicated` to not care which.
 
     Returns
     -------
-    An engine instance whose ``run(initial, ..., seed=...)`` draws from
-    the same law as the reference engine for *model*.  Counts-level
-    engines require a :class:`~repro.core.colors.ColorConfiguration`
-    initial state.
+    An engine instance whose ``run(initial, ..., seed=...)`` (or
+    ``run_ensemble(initial, n_reps, ..., seed=...)``) draws each
+    replication from the same law as the reference engine for *model*.
+    Counts-level engines require a
+    :class:`~repro.core.colors.ColorConfiguration` initial state.
     """
+    if n_reps < 1:
+        raise ConfigurationError(f"n_reps must be positive, got {n_reps}")
+    ensemble = n_reps > 1
     on_complete = topology.is_complete()
 
     if model == "synchronous":
@@ -88,6 +114,8 @@ def fastest_engine(
         if isinstance(protocol, CountsProtocol):
             if not on_complete:
                 raise ConfigurationError(f"{protocol.name} is counts-level and needs K_n")
+            if ensemble and isinstance(protocol, EnsembleCountsProtocol):
+                return EnsembleCountsEngine(protocol)
             return CountsEngine(protocol)
         if isinstance(protocol, SynchronousProtocol):
             return SynchronousEngine(protocol, topology)
@@ -101,7 +129,12 @@ def fastest_engine(
     zero_delay = delay_model is None or delay_model.is_zero()
     if model == "sequential" and not zero_delay:
         raise ConfigurationError("response delays require the continuous model")
-    counts_engine_cls = CountsSequentialEngine if model == "sequential" else CountsContinuousEngine
+    if ensemble:
+        counts_engine_cls = (
+            EnsembleCountsSequentialEngine if model == "sequential" else EnsembleCountsContinuousEngine
+        )
+    else:
+        counts_engine_cls = CountsSequentialEngine if model == "sequential" else CountsContinuousEngine
 
     if isinstance(protocol, SequentialCountsProtocol):
         if not on_complete:

@@ -11,6 +11,7 @@
 from .async_plurality import AsyncPluralityConsensus, AsyncPluralityProtocol, ClockSkew
 from .base import (
     CountsProtocol,
+    EnsembleCountsProtocol,
     SequentialCountsProtocol,
     SequentialProtocol,
     SynchronousProtocol,
@@ -65,6 +66,7 @@ __all__ = [
     "ClockSkew",
     "AsyncPluralityProtocol",
     "CountsProtocol",
+    "EnsembleCountsProtocol",
     "SequentialCountsProtocol",
     "SequentialProtocol",
     "SynchronousProtocol",

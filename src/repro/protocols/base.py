@@ -26,6 +26,16 @@ protocol may implement up to three complementary interfaces:
     counterpart of :class:`CountsProtocol` and what powers the batched
     tick engines in :mod:`repro.engine.counts_async` (paper-scale
     asynchronous sweeps at ``n`` up to ``10^8`` and beyond).
+:class:`EnsembleCountsProtocol`
+    Round-based on ``K_n`` for *R replications at once*: the state is
+    an ``(R, m)`` matrix of histograms and one step advances every row
+    by one synchronous round through shared vectorised multinomial
+    draws.  Each row's marginal law is identical to :meth:`step` of the
+    matching :class:`CountsProtocol`; this is what powers the ensemble
+    engines in :mod:`repro.engine.ensemble` (trial replication at the
+    cost of one run).  :class:`SequentialCountsProtocol` carries the
+    tick-side ensemble hooks (:meth:`tick_transition_matrices` and
+    friends) directly, with generic defaults.
 
 Protocols are stateless policy objects; all mutable simulation state
 lives in :class:`~repro.core.state.NodeArrayState` (or a subclass), so
@@ -49,7 +59,9 @@ __all__ = [
     "CountsProtocol",
     "SequentialProtocol",
     "SequentialCountsProtocol",
+    "EnsembleCountsProtocol",
     "self_excluded_sample_probabilities",
+    "self_excluded_sample_probabilities_ensemble",
 ]
 
 
@@ -109,6 +121,59 @@ class CountsProtocol(ABC):
         """True when the projected configuration is a fixed point."""
         counts = self.color_counts(counts_state)
         return int(counts.max()) == int(counts.sum())
+
+
+class _EnsembleStateHooks:
+    """Shared state hooks of the ensemble interfaces.
+
+    Both ensemble families — round-based
+    (:class:`EnsembleCountsProtocol`) and tick-based
+    (:class:`SequentialCountsProtocol`) — carry their R replications as
+    an ``(R, m)`` histogram matrix; these defaults cover initialising,
+    projecting and absorption-testing that matrix for every protocol
+    whose internal counts state is the plain label histogram.
+    """
+
+    def init_ensemble(self, config: ColorConfiguration, n_reps: int) -> np.ndarray:
+        """``(n_reps, m)`` stacked initial histograms (all rows equal)."""
+        row = np.asarray(self.init_counts(config), dtype=np.int64)  # type: ignore[attr-defined]
+        return np.repeat(row[None, :], n_reps, axis=0)
+
+    def color_counts_ensemble(self, states: np.ndarray) -> np.ndarray:
+        """Project the ``(R, m)`` internal states to reported counts."""
+        return states
+
+    def is_absorbed_ensemble(self, states: np.ndarray) -> np.ndarray:
+        """Row-wise fixed-point test (``bool[R]``)."""
+        return states.max(axis=1) == states.sum(axis=1)
+
+
+class EnsembleCountsProtocol(_EnsembleStateHooks, ABC):
+    """Round-based ensemble hook: R histogram chains per numpy batch.
+
+    Mixed into a :class:`CountsProtocol` whose internal counts state is
+    the plain label histogram, this interface advances an ``(R, m)``
+    matrix of *independent* replications by one synchronous round per
+    :meth:`step_ensemble` call.  The contract binding it to the
+    single-run protocol is exactness per row:
+
+    * every row of the result is drawn from the same law as
+      :meth:`CountsProtocol.step` applied to that row, and
+    * with ``R == 1`` the implementation must consume the generator
+      *identically* to :meth:`CountsProtocol.step` (same RNG calls in
+      the same order, with zero-size colour classes skipped the same
+      way), so an ensemble of one replays a single run value-for-value
+      from a shared seed.
+
+    Vectorised ``numpy`` multinomial/binomial calls with stacked
+    ``n``/``pvals`` arguments satisfy both clauses: the generator draws
+    row by row, so each row is an independent exact draw and the
+    one-row call is bit-identical to the scalar call.
+    """
+
+    @abstractmethod
+    def step_ensemble(self, states: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Advance every row of *states* by one synchronous round."""
 
 
 class SequentialProtocol(ABC):
@@ -171,7 +236,7 @@ class SequentialProtocol(ABC):
         return state.is_consensus()
 
 
-class SequentialCountsProtocol(ABC):
+class SequentialCountsProtocol(_EnsembleStateHooks, ABC):
     """Exact counts-level form of a sequential tick rule on ``K_n``.
 
     A tick of the sequential model picks a uniformly random acting node
@@ -221,6 +286,23 @@ class SequentialCountsProtocol(ABC):
         """True when the histogram is a fixed point of the tick chain."""
         return int(counts.max()) == int(counts.sum())
 
+    # ------------------------------------------------------------------
+    # ensemble hooks (R replications per numpy batch) — the state-side
+    # defaults come from _EnsembleStateHooks
+    # ------------------------------------------------------------------
+    def tick_transition_matrices(self, states: np.ndarray) -> np.ndarray:
+        """Stacked ``float[R, m, m]`` transition matrices, one per row
+        of *states* — each slice must equal
+        :meth:`tick_transition_matrix` of that row so the ensemble tick
+        engines draw every replication from the exact single-run law.
+        The default stacks per-row calls; protocols override it with a
+        fully vectorised computation (bit-equal per row, which keeps
+        one-replication ensembles value-for-value reproducible).
+        """
+        return np.stack(
+            [np.asarray(self.tick_transition_matrix(row), dtype=float) for row in states]
+        )
+
 
 def self_excluded_sample_probabilities(counts: np.ndarray) -> np.ndarray:
     """``Q[i, j]``: probability a node of label ``i`` samples label ``j``.
@@ -235,4 +317,22 @@ def self_excluded_sample_probabilities(counts: np.ndarray) -> np.ndarray:
     q = np.repeat(counts[None, :], counts.size, axis=0)
     np.fill_diagonal(q, counts - 1.0)
     q /= n - 1.0
+    return np.clip(q, 0.0, None)
+
+
+def self_excluded_sample_probabilities_ensemble(states: np.ndarray) -> np.ndarray:
+    """Stacked ``Q[r, i, j]`` for an ``(R, m)`` matrix of histograms.
+
+    Row-for-row bit-equal to
+    :func:`self_excluded_sample_probabilities` (same operations in the
+    same order), which is what lets the ensemble engines replay a
+    single run exactly when ``R == 1``.
+    """
+    states = np.asarray(states, dtype=float)
+    m = states.shape[1]
+    n = states.sum(axis=1)
+    q = np.repeat(states[:, None, :], m, axis=1)
+    idx = np.arange(m)
+    q[:, idx, idx] = states - 1.0
+    q /= (n - 1.0)[:, None, None]
     return np.clip(q, 0.0, None)

@@ -23,10 +23,12 @@ from ..core.state import NodeArrayState
 from ..graphs.topology import Topology
 from .base import (
     CountsProtocol,
+    EnsembleCountsProtocol,
     SequentialCountsProtocol,
     SequentialProtocol,
     SynchronousProtocol,
     self_excluded_sample_probabilities,
+    self_excluded_sample_probabilities_ensemble,
 )
 
 __all__ = [
@@ -70,7 +72,7 @@ class ThreeMajoritySynchronous(SynchronousProtocol):
         state.colors = _majority_of_three(first, second, third)
 
 
-class ThreeMajorityCounts(CountsProtocol):
+class ThreeMajorityCounts(CountsProtocol, EnsembleCountsProtocol):
     """Exact counts-level 3-Majority on ``K_n``."""
 
     name = "three-majority/counts"
@@ -84,14 +86,17 @@ class ThreeMajorityCounts(CountsProtocol):
         k = counts.size
         new_counts = np.zeros(k, dtype=np.int64)
         base = counts.astype(float)
+        # One sample-distribution buffer reused across colour classes
+        # (no per-class copies), like the TwoChoicesCounts pvals buffer.
+        q = np.empty(k)
         for i in range(k):
             group = int(counts[i])
             if group == 0:
                 continue
-            q = base.copy()
+            np.copyto(q, base)
             q[i] -= 1.0  # self-exclusion
             q /= n - 1
-            q = np.clip(q, 0.0, None)
+            np.clip(q, 0.0, None, out=q)
             adopt = _adoption_probabilities(q)
             total = float(adopt.sum())
             # Unlike Two-Choices, 3-Majority always adopts a sampled
@@ -99,6 +104,29 @@ class ThreeMajorityCounts(CountsProtocol):
             # (up to float error, renormalised here).
             adopt /= total
             new_counts += rng.multinomial(group, adopt)
+        return new_counts
+
+    def step_ensemble(self, states: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Advance R replications one round (mirrors :meth:`step` per
+        row; one stacked multinomial per non-empty colour class)."""
+        states = np.asarray(states, dtype=np.int64)
+        reps, k = states.shape
+        n = int(states[0].sum())
+        new_counts = np.zeros_like(states)
+        base = states.astype(float)
+        q = np.empty((reps, k))
+        for i in range(k):
+            groups = states[:, i]
+            acting = np.flatnonzero(groups > 0)
+            if acting.size == 0:
+                continue
+            np.copyto(q, base)
+            q[:, i] -= 1.0  # self-exclusion
+            q /= n - 1
+            np.clip(q, 0.0, None, out=q)
+            adopt = _adoption_probabilities(q)
+            adopt /= adopt.sum(axis=1, keepdims=True)
+            new_counts[acting] += rng.multinomial(groups[acting], adopt[acting])
         return new_counts
 
     def color_counts(self, counts_state: np.ndarray) -> np.ndarray:
@@ -160,5 +188,12 @@ class ThreeMajoritySequentialCounts(SequentialCountsProtocol):
         transition = _adoption_probabilities(q)
         # The adoption law is exhaustive; renormalise float error away.
         totals = transition.sum(axis=1, keepdims=True)
+        np.divide(transition, totals, out=transition, where=totals > 0)
+        return transition
+
+    def tick_transition_matrices(self, states: np.ndarray) -> np.ndarray:
+        q = self_excluded_sample_probabilities_ensemble(states)
+        transition = _adoption_probabilities(q)
+        totals = transition.sum(axis=-1, keepdims=True)
         np.divide(transition, totals, out=transition, where=totals > 0)
         return transition

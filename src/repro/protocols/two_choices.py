@@ -34,10 +34,12 @@ from ..core.state import NodeArrayState
 from ..graphs.topology import Topology
 from .base import (
     CountsProtocol,
+    EnsembleCountsProtocol,
     SequentialCountsProtocol,
     SequentialProtocol,
     SynchronousProtocol,
     self_excluded_sample_probabilities,
+    self_excluded_sample_probabilities_ensemble,
 )
 
 __all__ = [
@@ -65,7 +67,7 @@ class TwoChoicesSynchronous(SynchronousProtocol):
         state.colors = np.where(agree, first, state.colors)
 
 
-class TwoChoicesCounts(CountsProtocol):
+class TwoChoicesCounts(CountsProtocol, EnsembleCountsProtocol):
     """Exact counts-level Two-Choices on ``K_n``.
 
     The counts state is the plain ``int64[k]`` histogram.
@@ -108,6 +110,41 @@ class TwoChoicesCounts(CountsProtocol):
             draws = rng.multinomial(group, pvals)
             new_counts += draws[:k]
             new_counts[i] += draws[k]
+        return new_counts
+
+    def step_ensemble(self, states: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Advance R replications one round (one multinomial per class).
+
+        Mirrors :meth:`step` operation-for-operation per row — same
+        adopt/keep probabilities, same clip-and-renormalise branch, one
+        *stacked* multinomial per colour class over the rows where the
+        class is non-empty — so each row's law is exact and a one-row
+        ensemble consumes the generator identically to :meth:`step`.
+        """
+        states = np.asarray(states, dtype=np.int64)
+        reps, k = states.shape
+        n = int(states[0].sum())
+        new_counts = np.zeros_like(states)
+        base = states.astype(float)
+        pvals = np.empty((reps, k + 1))
+        adopt = pvals[:, :k]
+        for i in range(k):
+            groups = states[:, i]
+            acting = np.flatnonzero(groups > 0)
+            if acting.size == 0:
+                continue
+            np.copyto(adopt, base)
+            adopt[:, i] -= 1.0
+            adopt /= n - 1
+            np.multiply(adopt, adopt, out=adopt)
+            pvals[:, k] = 1.0 - adopt.sum(axis=1)
+            clipped = pvals[:, k] < 0.0
+            if clipped.any():
+                pvals[clipped, k] = 0.0
+                pvals[clipped] /= pvals[clipped].sum(axis=1, keepdims=True)
+            draws = rng.multinomial(groups[acting], pvals[acting])
+            new_counts[acting] += draws[:, :k]
+            new_counts[acting, i] += draws[:, k]
         return new_counts
 
     def color_counts(self, counts_state: np.ndarray) -> np.ndarray:
@@ -160,4 +197,12 @@ class TwoChoicesSequentialCounts(SequentialCountsProtocol):
         transition = q * q
         np.fill_diagonal(transition, 0.0)
         np.fill_diagonal(transition, np.clip(1.0 - transition.sum(axis=1), 0.0, 1.0))
+        return transition
+
+    def tick_transition_matrices(self, states: np.ndarray) -> np.ndarray:
+        q = self_excluded_sample_probabilities_ensemble(states)
+        transition = q * q
+        idx = np.arange(transition.shape[-1])
+        transition[:, idx, idx] = 0.0
+        transition[:, idx, idx] = np.clip(1.0 - transition.sum(axis=-1), 0.0, 1.0)
         return transition

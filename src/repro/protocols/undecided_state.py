@@ -30,10 +30,12 @@ from ..core.state import NodeArrayState
 from ..graphs.topology import Topology
 from .base import (
     CountsProtocol,
+    EnsembleCountsProtocol,
     SequentialCountsProtocol,
     SequentialProtocol,
     SynchronousProtocol,
     self_excluded_sample_probabilities,
+    self_excluded_sample_probabilities_ensemble,
 )
 
 __all__ = [
@@ -47,6 +49,13 @@ __all__ = [
 def _make_state_with_undecided(colors: np.ndarray, k: int) -> NodeArrayState:
     """Widen the label space by one to make room for the undecided label."""
     return NodeArrayState(colors=np.asarray(colors, dtype=np.int64), k=k + 1)
+
+
+def _absorbed_rows(states: np.ndarray) -> np.ndarray:
+    """Row-wise USD absorption (``bool[R]``): one decided colour with no
+    undecided mass, or everyone undecided."""
+    support = np.count_nonzero(states[:, :-1], axis=1)
+    return ((support <= 1) & (states[:, -1] == 0)) | (support == 0)
 
 
 class UndecidedStateSynchronous(SynchronousProtocol):
@@ -81,7 +90,7 @@ class UndecidedStateSynchronous(SynchronousProtocol):
         return (support <= 1 and counts[-1] == 0) or support == 0
 
 
-class UndecidedStateCounts(CountsProtocol):
+class UndecidedStateCounts(CountsProtocol, EnsembleCountsProtocol):
     """Exact counts-level USD on ``K_n``.
 
     Counts state: ``int64[k + 1]`` with the undecided bucket last.
@@ -103,10 +112,10 @@ class UndecidedStateCounts(CountsProtocol):
             group = int(counts[i])
             if group == 0:
                 continue
-            q = base.copy()
-            q[i] -= 1.0  # self-exclusion among the n-1 neighbours
-            q /= n - 1
-            stay = float(q[i] + q[k])  # own colour or an undecided node
+            # A decided node stays iff it samples its own colour (with
+            # self-exclusion) or an undecided node — two scalars, no
+            # per-class distribution array needed.
+            stay = (base[i] - 1.0) / (n - 1) + base[k] / (n - 1)
             stay = min(max(stay, 0.0), 1.0)
             keepers = int(rng.binomial(group, stay))
             new_counts[i] += keepers
@@ -121,12 +130,46 @@ class UndecidedStateCounts(CountsProtocol):
             new_counts += draws
         return new_counts
 
+    def step_ensemble(self, states: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Advance R replications one round (mirrors :meth:`step` per
+        row: a stacked binomial per decided class, then one stacked
+        multinomial for the undecided movers)."""
+        states = np.asarray(states, dtype=np.int64)
+        reps, width = states.shape
+        k = width - 1
+        n = int(states[0].sum())
+        new_counts = np.zeros_like(states)
+        base = states.astype(float)
+        for i in range(k):
+            groups = states[:, i]
+            acting = np.flatnonzero(groups > 0)
+            if acting.size == 0:
+                continue
+            stay = (base[:, i] - 1.0) / (n - 1) + base[:, k] / (n - 1)
+            np.clip(stay, 0.0, 1.0, out=stay)
+            keepers = rng.binomial(groups[acting], stay[acting])
+            new_counts[acting, i] += keepers
+            new_counts[acting, k] += groups[acting] - keepers
+        moving = np.flatnonzero(states[:, k] > 0)
+        if moving.size:
+            q = base.copy()
+            q[:, k] -= 1.0
+            q /= n - 1
+            np.clip(q, 0.0, None, out=q)
+            q /= q.sum(axis=1, keepdims=True)
+            draws = rng.multinomial(states[moving, k], q[moving])
+            new_counts[moving] += draws
+        return new_counts
+
     def color_counts(self, counts_state: np.ndarray) -> np.ndarray:
         return counts_state
 
     def is_absorbed(self, counts_state: np.ndarray) -> bool:
         support = int(np.count_nonzero(counts_state[:-1]))
         return (support <= 1 and counts_state[-1] == 0) or support == 0
+
+    def is_absorbed_ensemble(self, states: np.ndarray) -> np.ndarray:
+        return _absorbed_rows(states)
 
 
 class UndecidedStateSequential(SequentialProtocol):
@@ -206,6 +249,22 @@ class UndecidedStateSequentialCounts(SequentialCountsProtocol):
         transition[undecided, :] = q[undecided]
         return transition
 
+    def tick_transition_matrices(self, states: np.ndarray) -> np.ndarray:
+        states = np.asarray(states)
+        reps, m = states.shape
+        undecided = m - 1
+        q = self_excluded_sample_probabilities_ensemble(states)
+        transition = np.zeros((reps, m, m))
+        idx = np.arange(undecided)
+        stay = np.clip(q[:, idx, idx] + q[:, :undecided, undecided], 0.0, 1.0)
+        transition[:, idx, idx] = stay
+        transition[:, idx, undecided] = 1.0 - stay
+        transition[:, undecided, :] = q[:, undecided, :]
+        return transition
+
     def is_absorbed(self, counts: np.ndarray) -> bool:
         support = int(np.count_nonzero(counts[:-1]))
         return (support <= 1 and counts[-1] == 0) or support == 0
+
+    def is_absorbed_ensemble(self, states: np.ndarray) -> np.ndarray:
+        return _absorbed_rows(states)

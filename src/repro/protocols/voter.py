@@ -18,10 +18,12 @@ from ..core.state import NodeArrayState
 from ..graphs.topology import Topology
 from .base import (
     CountsProtocol,
+    EnsembleCountsProtocol,
     SequentialCountsProtocol,
     SequentialProtocol,
     SynchronousProtocol,
     self_excluded_sample_probabilities,
+    self_excluded_sample_probabilities_ensemble,
 )
 
 __all__ = ["VoterSynchronous", "VoterCounts", "VoterSequential", "VoterSequentialCounts"]
@@ -38,7 +40,7 @@ class VoterSynchronous(SynchronousProtocol):
         state.colors = state.colors[targets]
 
 
-class VoterCounts(CountsProtocol):
+class VoterCounts(CountsProtocol, EnsembleCountsProtocol):
     """Exact counts-level synchronous voter on ``K_n``."""
 
     name = "voter/counts"
@@ -62,6 +64,28 @@ class VoterCounts(CountsProtocol):
             probs = np.clip(probs, 0.0, None)
             probs /= probs.sum()
             new_counts += rng.multinomial(group, probs)
+        return new_counts
+
+    def step_ensemble(self, states: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Advance R replications one round (mirrors :meth:`step` per
+        row; one stacked multinomial per non-empty colour class)."""
+        states = np.asarray(states, dtype=np.int64)
+        reps, k = states.shape
+        n = int(states[0].sum())
+        new_counts = np.zeros_like(states)
+        base = states.astype(float)
+        probs = np.empty((reps, k))
+        for i in range(k):
+            groups = states[:, i]
+            acting = np.flatnonzero(groups > 0)
+            if acting.size == 0:
+                continue
+            np.copyto(probs, base)
+            probs[:, i] -= 1.0  # self-exclusion
+            probs /= n - 1
+            np.clip(probs, 0.0, None, out=probs)
+            probs /= probs.sum(axis=1, keepdims=True)
+            new_counts[acting] += rng.multinomial(groups[acting], probs[acting])
         return new_counts
 
     def color_counts(self, counts_state: np.ndarray) -> np.ndarray:
@@ -106,3 +130,6 @@ class VoterSequentialCounts(SequentialCountsProtocol):
 
     def tick_transition_matrix(self, counts: np.ndarray) -> np.ndarray:
         return self_excluded_sample_probabilities(counts)
+
+    def tick_transition_matrices(self, states: np.ndarray) -> np.ndarray:
+        return self_excluded_sample_probabilities_ensemble(states)

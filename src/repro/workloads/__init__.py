@@ -3,13 +3,14 @@
 from .initial import (
     additive_gap,
     balanced,
+    benchmark_split,
     dirichlet_random,
     multiplicative_bias,
     power_law,
     theorem_1_1_gap,
     two_colors,
 )
-from .sweeps import linear_ints, log_spaced_ints, powers_of_two
+from .sweeps import convergence_time_sweep, linear_ints, log_spaced_ints, powers_of_two
 
 __all__ = [
     "additive_gap",
@@ -19,6 +20,8 @@ __all__ = [
     "power_law",
     "theorem_1_1_gap",
     "two_colors",
+    "benchmark_split",
+    "convergence_time_sweep",
     "linear_ints",
     "log_spaced_ints",
     "powers_of_two",

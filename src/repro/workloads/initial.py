@@ -36,6 +36,7 @@ __all__ = [
     "power_law",
     "dirichlet_random",
     "two_colors",
+    "benchmark_split",
 ]
 
 
@@ -144,3 +145,15 @@ def two_colors(n: int, gap: int) -> ColorConfiguration:
     if c2 < 1:
         raise ConfigurationError(f"gap={gap} too large for n={n}")
     return ColorConfiguration([c1, c2])
+
+
+def benchmark_split(n: int) -> ColorConfiguration:
+    """The 60/40 two-colour split of the engine benchmarks.
+
+    The canonical workload of ``BENCH_engines.json`` and the default of
+    :func:`repro.workloads.sweeps.convergence_time_sweep` — one shared
+    definition so the benchmark tables, the looped-vs-ensemble
+    comparison and the sweep default cannot drift apart.
+    """
+    majority = int(round(0.6 * n))
+    return ColorConfiguration([majority, n - majority])

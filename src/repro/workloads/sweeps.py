@@ -1,13 +1,16 @@
-"""Parameter-grid helpers for the experiment sweeps."""
+"""Parameter-grid helpers and replicated sweeps for the experiments."""
 
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import Callable, Dict, List, Optional
 
+from ..core.colors import ColorConfiguration
 from ..core.exceptions import ConfigurationError
+from ..core.rng import SeedLike, spawn_seed_sequences
+from .initial import benchmark_split
 
-__all__ = ["log_spaced_ints", "powers_of_two", "linear_ints"]
+__all__ = ["log_spaced_ints", "powers_of_two", "linear_ints", "convergence_time_sweep"]
 
 
 def log_spaced_ints(low: int, high: int, count: int) -> List[int]:
@@ -54,3 +57,41 @@ def linear_ints(low: int, high: int, step: int) -> List[int]:
     if high < low:
         raise ConfigurationError(f"need low <= high, got {low}..{high}")
     return list(range(low, high + 1, step))
+
+
+def convergence_time_sweep(
+    protocol,
+    ns: List[int],
+    reps: int,
+    model: str = "sequential",
+    make_config: Optional[Callable[[int], ColorConfiguration]] = None,
+    seed: SeedLike = 20170725,
+) -> Dict[int, list]:
+    """Replicated convergence-time sweep over an ``n``-grid on ``K_n``.
+
+    For every ``n`` in *ns* this runs *reps* independent replications
+    of *protocol* under *model*, routed through
+    :func:`repro.engine.dispatch.fastest_engine` with ``n_reps=reps``
+    so eligible (protocol, ``K_n``) pairs take the ensemble-vectorised
+    path — the whole T-series workload shape ("estimate a convergence
+    time distribution at each grid point") at the cost of one run per
+    grid point.  Returns ``{n: [RunResult, ...]}`` in replication
+    order; each grid point consumes an independent child stream of the
+    master *seed*.
+
+    *make_config* maps ``n`` to the initial configuration (default: a
+    60/40 two-colour split, the engine benchmark workload).
+    """
+    from ..engine.dispatch import fastest_engine
+    from ..engine.ensemble import run_replicated
+    from ..graphs.complete import CompleteGraph
+
+    if reps < 1:
+        raise ConfigurationError(f"reps must be >= 1, got {reps}")
+    if make_config is None:
+        make_config = benchmark_split
+    out: Dict[int, list] = {}
+    for n, child in zip(ns, spawn_seed_sequences(seed, len(ns))):
+        engine = fastest_engine(protocol, CompleteGraph(n), model=model, n_reps=reps)
+        out[int(n)] = run_replicated(engine, make_config(n), reps, seed=child)
+    return out
