@@ -6,6 +6,17 @@ Plurality Consensus* (PODC '17).
 
 Quickstart
 ----------
+>>> from repro import SimulationSpec, simulate
+>>> spec = SimulationSpec(protocol="two-choices", n=10_000, reps=4, seed=7)
+>>> result = simulate(spec)
+>>> result.converged_rate
+1.0
+
+The spec names registered protocols / topologies / initial conditions
+(``repro.api.PROTOCOLS.names()`` etc.); :func:`simulate` routes it
+through the fastest exact engine.  Protocol objects remain usable
+directly:
+
 >>> from repro import AsyncPluralityConsensus, multiplicative_bias
 >>> config = multiplicative_bias(n=2000, k=8, ratio=1.5)
 >>> result = AsyncPluralityConsensus().run(config, seed=7)
@@ -14,6 +25,8 @@ True
 
 Layout
 ------
+``repro.api``
+    The declarative front door: ``SimulationSpec`` → ``simulate()``.
 ``repro.core``
     Colour configurations, state arrays, results, RNG policy.
 ``repro.graphs``
@@ -31,6 +44,7 @@ Layout
     The experiment harness regenerating every claim-derived table.
 """
 
+from .api import SimulationResult, SimulationSpec, resolve, simulate
 from .core import (
     AsyncNodeState,
     ColorConfiguration,
@@ -84,6 +98,10 @@ from .workloads import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "SimulationSpec",
+    "SimulationResult",
+    "simulate",
+    "resolve",
     "AsyncNodeState",
     "ColorConfiguration",
     "ConfigurationError",

@@ -1,0 +1,70 @@
+"""repro.api — the declarative front door.
+
+Every paper experiment is an instance of one shape: *run protocol P on
+topology G under execution model M, R times, and summarize
+convergence*.  This package makes that shape a value:
+
+>>> from repro.api import SimulationSpec, simulate
+>>> spec = SimulationSpec(protocol="two-choices", n=10_000, reps=4, seed=7)
+>>> result = simulate(spec)
+>>> result.converged_rate
+1.0
+
+`simulate` routes through the same
+:func:`~repro.engine.dispatch.fastest_engine` /
+:func:`~repro.engine.ensemble.run_replicated` machinery the
+experiments always used — those remain the supported low-level layer,
+and the exactness contracts of the counts fast paths (PR 1) and the
+ensemble engines (PR 2) carry over bit-for-bit (see
+``tests/test_api.py``).
+
+Modules
+-------
+``spec``
+    :class:`SimulationSpec` — serializable, ``to_dict``/``from_dict``
+    round-trippable plain data.
+``registry``
+    String-keyed factories with parameter metadata; populated by the
+    protocols / graphs / workloads / engine modules at import time.
+``runner``
+    :func:`simulate` and :func:`resolve`.
+``results``
+    :class:`SimulationResult` — per-rep ``RunResult`` list plus
+    convergence-time statistics.
+"""
+
+from .registry import (
+    DELAYS,
+    INITIALS,
+    PROTOCOLS,
+    STOPS,
+    TOPOLOGIES,
+    ParamSpec,
+    register_delay,
+    register_initial,
+    register_protocol,
+    register_stop,
+    register_topology,
+)
+from .results import SimulationResult
+from .runner import ResolvedSimulation, resolve, simulate
+from .spec import SimulationSpec
+
+__all__ = [
+    "SimulationSpec",
+    "SimulationResult",
+    "ResolvedSimulation",
+    "simulate",
+    "resolve",
+    "ParamSpec",
+    "PROTOCOLS",
+    "TOPOLOGIES",
+    "INITIALS",
+    "DELAYS",
+    "STOPS",
+    "register_protocol",
+    "register_topology",
+    "register_initial",
+    "register_delay",
+    "register_stop",
+]

@@ -16,17 +16,17 @@ import numpy as np
 from ..analysis import statistics as stats
 from ..analysis.convergence import synchrony_summary
 from ..analysis.polya import PolyaUrn, limit_fraction_variance
+from ..api import SimulationSpec, simulate
 from ..core.colors import ColorConfiguration
 from ..engine.continuous import ContinuousEngine
 from ..engine.delays import ExponentialDelay
-from ..engine.dispatch import fastest_engine
 from ..engine.sequential import SequentialEngine
 from ..graphs.complete import CompleteGraph
 from ..protocols.async_plurality import AsyncPluralityConsensus, AsyncPluralityProtocol
 from ..protocols.endgame import near_consensus_start, run_endgame
 from ..protocols.two_choices import TwoChoicesSequential
 from ..workloads.initial import multiplicative_bias, two_colors
-from .harness import ExperimentReport, ExperimentScale, run_engine_trials, run_trials, timed
+from .harness import ExperimentReport, ExperimentScale, run_trials, timed
 
 __all__ = [
     "experiment_t6_async_runtime",
@@ -268,10 +268,24 @@ def experiment_t10_model_equivalence(scale: ExperimentScale) -> ExperimentReport
         protocol = TwoChoicesSequential()
         sequential = SequentialEngine(protocol, topology)
         continuous = ContinuousEngine(protocol, topology)
-        counts_fast = fastest_engine(protocol, topology, model="sequential", n_reps=trials)
         seq_results = run_trials(lambda s: sequential.run(config, seed=s), trials, scale.seed)
         cont_results = run_trials(lambda s: continuous.run(config, seed=s), trials, scale.seed + 1)
-        fast_results = run_engine_trials(counts_fast, config, trials, scale.seed + 2)
+        # The fast path goes through the declarative front door: the
+        # reference engines above are deliberately hand-wired (they ARE
+        # the baselines being compared), while the dispatched leg is
+        # exactly what `simulate` routes for this spec.
+        fast_sim = simulate(
+            SimulationSpec(
+                protocol="two-choices",
+                n=n,
+                model="sequential",
+                initial="two-colors",
+                initial_params={"gap": gap},
+                reps=trials,
+                seed=scale.seed + 2,
+            )
+        )
+        fast_results = fast_sim.runs
         seq_times = [r.parallel_time for r in seq_results if r.converged]
         cont_times = [r.parallel_time for r in cont_results if r.converged]
         fast_times = [r.parallel_time for r in fast_results if r.converged]
@@ -299,8 +313,7 @@ def experiment_t10_model_equivalence(scale: ExperimentScale) -> ExperimentReport
             # Whole-distribution agreement, not just the means.
             "ks_test_not_rejected": ks_pvalue >= 0.01,
             # The dispatcher's K_n fast path is a drop-in: same law.
-            "fast_path_is_counts_engine": counts_fast.__class__.__name__
-            == "EnsembleCountsSequentialEngine",
+            "fast_path_is_counts_engine": fast_sim.engine == "EnsembleCountsSequentialEngine",
             "fast_path_always_converges": len(fast_times) == trials,
             "fast_path_cis_overlap": fast_overlap,
             "fast_path_ks_not_rejected": fast_ks_pvalue >= 0.01,

@@ -24,17 +24,9 @@ import numpy as np
 from ..analysis import statistics as stats
 from ..analysis import theory
 from ..analysis.convergence import per_phase_ratio_growth, ratio_trace
-from ..core.colors import ColorConfiguration
-from ..engine.counts import CountsEngine
-from ..engine.dispatch import fastest_engine
-from ..graphs.complete import CompleteGraph
-from ..protocols.one_extra_bit import OneExtraBitCounts, default_bp_rounds
-from ..protocols.three_majority import ThreeMajorityCounts
-from ..protocols.two_choices import TwoChoicesCounts, TwoChoicesSequential
-from ..protocols.undecided_state import UndecidedStateCounts
-from ..protocols.voter import VoterCounts
-from ..workloads.initial import additive_gap, multiplicative_bias, theorem_1_1_gap, two_colors
-from .harness import ExperimentReport, ExperimentScale, run_engine_trials, run_trials, timed
+from ..api import SimulationSpec, simulate
+from ..protocols.one_extra_bit import default_bp_rounds
+from .harness import ExperimentReport, ExperimentScale, timed
 
 __all__ = [
     "experiment_t1_two_choices_runtime",
@@ -46,20 +38,36 @@ __all__ = [
 ]
 
 
-def _mean_rounds(protocol, config, trials, seed, max_rounds=1_000_000):
+def _sync_spec(protocol, n, initial, initial_params, trials, seed, max_rounds=1_000_000):
+    """The declarative form of one synchronous-model cell of a sweep."""
+    return SimulationSpec(
+        protocol=protocol,
+        n=n,
+        model="synchronous",
+        initial=initial,
+        initial_params=dict(initial_params),
+        reps=trials,
+        seed=seed,
+        max_steps=max_rounds,
+    )
+
+
+def _mean_rounds(protocol, n, initial, initial_params, trials, seed, max_rounds=1_000_000):
     """Mean rounds-to-consensus and plurality-preservation rate.
 
-    Routed through the dispatcher with ``n_reps=trials`` so protocols
-    with ensemble round hooks (Two-Choices, Voter, 3-Majority, USD)
-    advance all replications per numpy batch; the rest (OneExtraBit)
-    fall back to the looped single-run engine.
+    ``simulate`` routes the spec through the dispatcher with
+    ``n_reps=trials``, so protocols with ensemble round hooks
+    (Two-Choices, Voter, 3-Majority, USD) advance all replications per
+    numpy batch; the rest (OneExtraBit) fall back to the looped
+    single-run engine.  Also returns the initial configuration the runs
+    actually started from, so theory predictions are computed on the
+    simulated workload rather than a second hand-built copy.
     """
-    engine = fastest_engine(protocol, CompleteGraph(config.n), model="synchronous", n_reps=trials)
-    results = run_engine_trials(engine, config, trials, seed, max_rounds=max_rounds)
-    rounds = [r.rounds for r in results if r.converged]
-    preserved = [r.plurality_preserved for r in results]
+    sim = simulate(_sync_spec(protocol, n, initial, initial_params, trials, seed, max_rounds))
+    rounds = [r.rounds for r in sim.runs if r.converged]
+    preserved = [r.plurality_preserved for r in sim.runs]
     mean = float(np.mean(rounds)) if rounds else float("nan")
-    return mean, float(np.mean(preserved)), len(rounds), len(results)
+    return mean, float(np.mean(preserved)), len(rounds), len(sim.runs), sim.runs[0].initial
 
 
 def experiment_t1_two_choices_runtime(scale: ExperimentScale) -> ExperimentReport:
@@ -77,8 +85,9 @@ def experiment_t1_two_choices_runtime(scale: ExperimentScale) -> ExperimentRepor
         per_log_n = []
         envelope_ratios = []
         for n in ns:
-            config = theorem_1_1_gap(n, k_fixed, z=2.0)
-            mean, preserved, _, _ = _mean_rounds(TwoChoicesCounts(), config, scale.trials, scale.seed + n)
+            mean, preserved, _, _, config = _mean_rounds(
+                "two-choices", n, "theorem-1-1-gap", {"k": k_fixed, "z": 2.0}, scale.trials, scale.seed + n
+            )
             predicted = theory.two_choices_rounds(n, config.c1)
             per_log_n.append(mean / math.log(n))
             envelope_ratios.append(mean / predicted)
@@ -88,8 +97,9 @@ def experiment_t1_two_choices_runtime(scale: ExperimentScale) -> ExperimentRepor
         k_rounds = []
         inv_fractions = []
         for k in (2, 4, 8, 16, 32):
-            config = theorem_1_1_gap(n_fixed, k, z=1.0)
-            mean, preserved, _, _ = _mean_rounds(TwoChoicesCounts(), config, scale.trials, scale.seed + k)
+            mean, preserved, _, _, config = _mean_rounds(
+                "two-choices", n_fixed, "theorem-1-1-gap", {"k": k, "z": 1.0}, scale.trials, scale.seed + k
+            )
             predicted = theory.two_choices_rounds(n_fixed, config.c1)
             envelope_ratios.append(mean / predicted)
             inv_fractions.append(n_fixed / config.c1)
@@ -133,8 +143,9 @@ def experiment_t2_two_choices_lower_bound(scale: ExperimentScale) -> ExperimentR
         inv_fractions = []
         lower_ratios = []
         for k in ks:
-            config = theorem_1_1_gap(n, k, z=1.0)
-            mean, preserved, _, _ = _mean_rounds(TwoChoicesCounts(), config, scale.trials, scale.seed + 13 * k)
+            mean, preserved, _, _, config = _mean_rounds(
+                "two-choices", n, "theorem-1-1-gap", {"k": k, "z": 1.0}, scale.trials, scale.seed + 13 * k
+            )
             lower = theory.two_choices_lower_bound(n, config.c1)
             means.append(mean)
             inv_fractions.append(n / config.c1)
@@ -188,13 +199,13 @@ def experiment_t3_bias_threshold(scale: ExperimentScale) -> ExperimentReport:
             ("1*sqrt(n log n)", int(sqrt_nlogn)),
             ("2*sqrt(n log n)", int(2 * sqrt_nlogn)),
         ]
-        engine = fastest_engine(TwoChoicesCounts(), CompleteGraph(n), model="synchronous", n_reps=trials)
         rows = []
         rates = []
         for label, gap in gaps:
-            config = two_colors(n, gap)
-            results = run_engine_trials(engine, config, trials, scale.seed + gap)
-            outcomes = [r.converged and r.winner == 0 for r in results]
+            sim = simulate(
+                _sync_spec("two-choices", n, "two-colors", {"gap": gap}, trials, scale.seed + gap)
+            )
+            outcomes = [r.converged and r.winner == 0 for r in sim.runs]
             estimate = stats.estimate_success(outcomes)
             rates.append(estimate.rate)
             rows.append([label, gap, estimate.rate, estimate.low, estimate.high, trials])
@@ -231,9 +242,13 @@ def experiment_t4_one_extra_bit(scale: ExperimentScale) -> ExperimentReport:
         tc_means = []
         oeb_means = []
         for k in ks:
-            config = theorem_1_1_gap(n, k, z=1.0)
-            tc_mean, tc_win, _, _ = _mean_rounds(TwoChoicesCounts(), config, trials, scale.seed + k)
-            oeb_mean, oeb_win, _, _ = _mean_rounds(OneExtraBitCounts(), config, trials, scale.seed + 7 * k)
+            initial_params = {"k": k, "z": 1.0}
+            tc_mean, tc_win, _, _, config = _mean_rounds(
+                "two-choices", n, "theorem-1-1-gap", initial_params, trials, scale.seed + k
+            )
+            oeb_mean, oeb_win, _, _, _ = _mean_rounds(
+                "one-extra-bit", n, "theorem-1-1-gap", initial_params, trials, scale.seed + 7 * k
+            )
             predicted = theory.one_extra_bit_rounds(n, k, config.c1, config.c2)
             tc_means.append(tc_mean)
             oeb_means.append(oeb_mean)
@@ -269,17 +284,20 @@ def experiment_t5_quadratic_growth(scale: ExperimentScale) -> ExperimentReport:
         n = scale.scaled(1_000_000)
         k = 16
         ratio0 = 1.2
-        config = multiplicative_bias(n, k, ratio0)
-        protocol = OneExtraBitCounts()
         phase_length = 1 + default_bp_rounds(n, k)
-        engine = CountsEngine(protocol)
-        result = engine.run(
-            config,
+        spec = SimulationSpec(
+            protocol="one-extra-bit",
+            n=n,
+            model="synchronous",
+            initial="multiplicative-bias",
+            initial_params={"k": k, "ratio": ratio0},
+            reps=1,
             seed=scale.seed,
+            max_steps=phase_length * 12,
             record_trace=True,
             trace_every=phase_length,
-            max_rounds=phase_length * 12,
         )
+        result = simulate(spec).runs[0]
         ratios = ratio_trace(result.trace)
         growth = per_phase_ratio_growth(list(ratios))
         rows = []
@@ -318,22 +336,23 @@ def experiment_t11_protocol_comparison(scale: ExperimentScale) -> ExperimentRepo
     with timed() as clock:
         n_small = scale.scaled(50_000)
         n_large = scale.scaled(2_000_000)
+        gap_a = int(2 * math.sqrt(n_small * math.log(n_small)))
         scenarios = [
-            ("A: k=2, strong gap", two_colors(n_small, int(2 * math.sqrt(n_small * math.log(n_small)))), 2, n_small),
-            ("B: k=16, threshold gap", theorem_1_1_gap(n_large, 16, z=1.0), 16, n_large),
-            ("C: k=128, threshold gap", theorem_1_1_gap(n_large, 128, z=1.0), 128, n_large),
+            ("A: k=2, strong gap", "two-colors", {"gap": gap_a}, 2, n_small),
+            ("B: k=16, threshold gap", "theorem-1-1-gap", {"k": 16, "z": 1.0}, 16, n_large),
+            ("C: k=128, threshold gap", "theorem-1-1-gap", {"k": 128, "z": 1.0}, 128, n_large),
         ]
         protocols = [
-            ("voter", VoterCounts(), lambda n: 6 * n),
-            ("two-choices", TwoChoicesCounts(), lambda n: 40_000),
-            ("3-majority", ThreeMajorityCounts(), lambda n: 40_000),
-            ("undecided-state", UndecidedStateCounts(), lambda n: 40_000),
-            ("one-extra-bit", OneExtraBitCounts(), lambda n: 40_000),
+            ("voter", "voter", lambda n: 6 * n),
+            ("two-choices", "two-choices", lambda n: 40_000),
+            ("3-majority", "three-majority", lambda n: 40_000),
+            ("undecided-state", "undecided-state", lambda n: 40_000),
+            ("one-extra-bit", "one-extra-bit", lambda n: 40_000),
         ]
         rows = []
         outcome = {}
-        for scenario_name, config, k, n in scenarios:
-            for proto_name, protocol, cap in protocols:
+        for scenario_name, initial, initial_params, k, n in scenarios:
+            for proto_name, registry_name, cap in protocols:
                 if proto_name == "voter" and k > 2:
                     # Voter needs Theta(n) rounds regardless of k; the
                     # scenario-A probe documents that wall once.
@@ -342,22 +361,30 @@ def experiment_t11_protocol_comparison(scale: ExperimentScale) -> ExperimentRepo
                 trials = max(2, scale.trials // 2) if proto_name == "voter" else min(3, scale.trials)
                 # Stable per-cell seed (builtin hash() is salted per process).
                 cell_seed = scale.seed + sum(ord(c) for c in scenario_name + proto_name)
-                mean, preserved, converged, total = _mean_rounds(
-                    protocol, config, trials, cell_seed, max_rounds=cap(n)
+                mean, preserved, converged, total, _ = _mean_rounds(
+                    registry_name, n, initial, initial_params, trials, cell_seed, max_rounds=cap(n)
                 )
                 outcome[(scenario_name[:1], proto_name)] = (mean, preserved)
                 rows.append([scenario_name, proto_name, mean, preserved, f"{converged}/{total} converged"])
 
         # Asynchronous landscape probe: the same scenario-A workload in
-        # the sequential tick model, routed through the engine
-        # dispatcher so K_n picks up the ensemble-vectorised counts
-        # fast path (all trials advance per numpy batch).
-        scenario_name, config, _, n = scenarios[0]
+        # the sequential tick model; `simulate` routes it through the
+        # engine dispatcher so K_n picks up the ensemble-vectorised
+        # counts fast path (all trials advance per numpy batch).
+        scenario_name, initial, initial_params, _, n = scenarios[0]
         async_trials = min(3, scale.trials)
-        async_engine = fastest_engine(
-            TwoChoicesSequential(), CompleteGraph(n), model="sequential", n_reps=async_trials
+        async_sim = simulate(
+            SimulationSpec(
+                protocol="two-choices",
+                n=n,
+                model="sequential",
+                initial=initial,
+                initial_params=initial_params,
+                reps=async_trials,
+                seed=scale.seed + 11,
+            )
         )
-        async_results = run_engine_trials(async_engine, config, async_trials, scale.seed + 11)
+        async_results = async_sim.runs
         async_mean = float(np.mean([r.parallel_time for r in async_results if r.converged]))
         async_preserved = float(np.mean([r.converged and r.winner == 0 for r in async_results]))
         async_converged = sum(1 for r in async_results if r.converged)

@@ -3,6 +3,8 @@
 Examples::
 
     python -m repro list
+    python -m repro simulate two-choices --n 100000 --reps 8
+    python -m repro simulate voter --n 10000 --model synchronous --initial balanced --initial-param k=4
     python -m repro run T6
     python -m repro run all --scale full --store results
     python -m repro show T6 --store results
@@ -13,11 +15,15 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
+from .api import DELAYS, INITIALS, PROTOCOLS, STOPS, TOPOLOGIES, SimulationSpec, simulate
 from .bench import FULL, QUICK, ExperimentScale, ResultStore, experiment_ids, run_experiment
 from .bench.tables import format_table
+from .core.exceptions import ConfigurationError
 from .protocols.schedule import PhaseSchedule
 
 __all__ = ["main", "build_parser"]
@@ -31,7 +37,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    list_cmd = sub.add_parser("list", help="list registered experiments")
+    list_cmd = sub.add_parser(
+        "list", help="list registered experiments, protocols, topologies and initial conditions"
+    )
+
+    sim_cmd = sub.add_parser(
+        "simulate",
+        help="run one declarative simulation spec (protocol x topology x model x reps)",
+    )
+    sim_cmd.add_argument("protocol", help="registered protocol name (see 'repro list')")
+    sim_cmd.add_argument("--n", type=int, required=True, help="number of nodes")
+    sim_cmd.add_argument("--reps", type=int, default=1, help="independent replications")
+    sim_cmd.add_argument(
+        "--model",
+        choices=["sequential", "continuous", "synchronous"],
+        default="sequential",
+        help="execution model (default: sequential ticks)",
+    )
+    sim_cmd.add_argument("--topology", default="complete", help="registered topology name")
+    sim_cmd.add_argument("--initial", default="benchmark-split", help="registered initial condition")
+    sim_cmd.add_argument("--delay", default=None, help="response-delay model (continuous only)")
+    sim_cmd.add_argument("--stop", default="consensus", help="stop criterion")
+    for flag, target in (
+        ("--param", "protocol"),
+        ("--topology-param", "topology"),
+        ("--initial-param", "initial condition"),
+        ("--delay-param", "delay model"),
+        ("--stop-param", "stop criterion"),
+    ):
+        sim_cmd.add_argument(
+            flag,
+            action="append",
+            default=[],
+            metavar="KEY=VALUE",
+            help=f"{target} parameter override (repeatable)",
+        )
+    sim_cmd.add_argument("--seed", type=int, default=None, help="master seed (default: OS entropy)")
+    sim_cmd.add_argument("--max-steps", type=int, default=None, help="round/tick budget")
+    sim_cmd.add_argument("--max-time", type=float, default=None, help="continuous-time budget")
+    sim_cmd.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"smoke-run scale: shrink n by the quick-scale factor ({QUICK.size_factor})",
+    )
+    sim_cmd.add_argument("--json", action="store_true", help="emit the full result payload as JSON")
+    sim_cmd.add_argument(
+        "--spec-only", action="store_true", help="print the resolved spec as JSON without running"
+    )
 
     run_cmd = sub.add_parser("run", help="run one experiment (or 'all')")
     run_cmd.add_argument("experiment", help="experiment id (T1..T12) or 'all'")
@@ -65,14 +117,101 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _resolve_scale(args) -> ExperimentScale:
     scale = FULL if args.scale == "full" else QUICK
-    if args.trials is not None or args.seed is not None:
-        scale = ExperimentScale(
-            name=scale.name,
-            trials=args.trials if args.trials is not None else scale.trials,
-            size_factor=scale.size_factor,
-            seed=args.seed if args.seed is not None else scale.seed,
-        )
-    return scale
+    overrides = {}
+    if args.trials is not None:
+        overrides["trials"] = args.trials
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    # dataclasses.replace keeps every field not overridden, so new
+    # ExperimentScale fields are never silently dropped here.
+    return dataclasses.replace(scale, **overrides) if overrides else scale
+
+
+def _parse_params(pairs: List[str], flag: str) -> Dict[str, str]:
+    """Parse repeated ``KEY=VALUE`` flags; registry metadata coerces types."""
+    out: Dict[str, str] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ConfigurationError(f"{flag} expects KEY=VALUE, got {pair!r}")
+        out[key] = value
+    return out
+
+
+def _spec_from_args(args) -> SimulationSpec:
+    """Build the :class:`SimulationSpec` the ``simulate`` flags describe."""
+    n = args.n
+    if args.quick:
+        n = max(2, int(round(n * QUICK.size_factor)))
+    return SimulationSpec(
+        protocol=args.protocol,
+        n=n,
+        protocol_params=_parse_params(args.param, "--param"),
+        topology=args.topology,
+        topology_params=_parse_params(args.topology_param, "--topology-param"),
+        model=args.model,
+        delay=args.delay,
+        delay_params=_parse_params(args.delay_param, "--delay-param"),
+        initial=args.initial,
+        initial_params=_parse_params(args.initial_param, "--initial-param"),
+        stop=args.stop,
+        stop_params=_parse_params(args.stop_param, "--stop-param"),
+        reps=args.reps,
+        seed=args.seed,
+        max_steps=args.max_steps,
+        max_time=args.max_time,
+    )
+
+
+def _run_simulate(args) -> int:
+    spec = _spec_from_args(args)
+    if args.spec_only:
+        print(json.dumps(spec.to_dict(), indent=2))
+        return 0
+    result = simulate(spec)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    summary = result.summary()
+    print(f"=== simulate {spec.protocol} on {spec.topology} (n={spec.n}, model={spec.model}) ===")
+    print(f"engine: {result.engine}   reps: {summary['reps']}   wall-clock: {result.elapsed_seconds:.2f}s")
+    rows = [
+        ["converged", f"{summary['converged']}/{summary['reps']}"],
+        ["plurality preserved", f"{summary['plurality_rate']:.2f}"],
+        ["mean rounds", f"{summary['mean_rounds']:.1f}"],
+        ["mean parallel time", f"{summary['mean_parallel_time']:.3f}"],
+        ["std parallel time", f"{summary['std_parallel_time']:.3f}"],
+        ["min / max parallel time", f"{summary['min_parallel_time']:.3f} / {summary['max_parallel_time']:.3f}"],
+    ]
+    print(format_table(["statistic", "value"], rows))
+    return 0
+
+
+def _print_registries() -> None:
+    print()
+    print("protocols (simulate <protocol>):")
+    rows = []
+    for name in PROTOCOLS.names():
+        entry = PROTOCOLS.get(name)
+        params = ", ".join(p.name for p in entry.params) or "-"
+        rows.append([name, "/".join(entry.models()), params, entry.description])
+    print(format_table(["protocol", "models", "params", "description"], rows))
+    for label, registry in (
+        ("topologies (--topology)", TOPOLOGIES),
+        ("initial conditions (--initial)", INITIALS),
+        ("delay models (--delay)", DELAYS),
+        ("stop criteria (--stop)", STOPS),
+    ):
+        print()
+        print(f"{label}:")
+        rows = []
+        for name in registry.names():
+            entry = registry.get(name)
+            params = ", ".join(
+                f"{p.name}*" if p.required else p.name for p in entry.params
+            ) or "-"
+            rows.append([name, params, entry.description])
+        print(format_table(["name", "params (* = required)", "description"], rows))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -83,7 +222,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         rows = [[eid] for eid in experiment_ids()]
         print(format_table(["experiment"], rows))
+        _print_registries()
         return 0
+
+    if args.command == "simulate":
+        return _run_simulate(args)
 
     if args.command == "run":
         scale = _resolve_scale(args)

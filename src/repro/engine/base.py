@@ -12,6 +12,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..api.registry import ParamSpec, register_stop
 from ..core.colors import ColorConfiguration
 from ..core.exceptions import ConfigurationError
 from ..core.results import RunResult, Trace
@@ -58,6 +59,25 @@ def plurality_fraction_at_least(fraction: float) -> StopCondition:
         return int(counts.max()) >= fraction * int(counts.sum())
 
     return condition
+
+
+register_stop(
+    "consensus",
+    lambda: consensus_reached,
+    description="Stop when one colour holds every node (the theorems' event)",
+)
+register_stop(
+    "near-consensus",
+    near_consensus,
+    params=[ParamSpec("epsilon", kind="float", required=True, doc="stop at c1 >= (1 - epsilon) n")],
+    description="Stop once the largest colour reaches (1 - epsilon) n (part-one goal)",
+)
+register_stop(
+    "plurality-fraction",
+    plurality_fraction_at_least,
+    params=[ParamSpec("fraction", kind="float", required=True, doc="stop at c1 >= fraction * n")],
+    description="Stop once the plurality colour's share reaches the given fraction",
+)
 
 
 def build_result(

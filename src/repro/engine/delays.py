@@ -13,6 +13,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from ..api.registry import ParamSpec, register_delay
 from ..core.exceptions import ConfigurationError
 
 __all__ = ["DelayModel", "NoDelay", "ExponentialDelay", "FixedDelay"]
@@ -79,3 +80,22 @@ class FixedDelay(DelayModel):
 
     def __repr__(self) -> str:
         return f"FixedDelay(delay={self.delay})"
+
+
+register_delay(
+    "none",
+    NoDelay,
+    description="Instantaneous responses (the paper's base model)",
+)
+register_delay(
+    "exponential",
+    ExponentialDelay,
+    params=[ParamSpec("rate", kind="float", default=1.0, doc="exponential rate (mean delay 1/rate)")],
+    description="Exponential response delays with constant rate (Discussion extension)",
+)
+register_delay(
+    "fixed",
+    FixedDelay,
+    params=[ParamSpec("delay", kind="float", required=True, doc="deterministic delay length")],
+    description="Deterministic response delay",
+)

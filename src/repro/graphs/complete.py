@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..api.registry import register_topology
 from ..core.exceptions import TopologyError
 from .topology import Topology
 
@@ -54,3 +55,10 @@ class CompleteGraph(Topology):
 
     def __repr__(self) -> str:
         return f"CompleteGraph(n={self.n})"
+
+
+register_topology(
+    "complete",
+    CompleteGraph,
+    description="The paper's K_n: every pair of distinct nodes connected, O(1) uniform sampling",
+)

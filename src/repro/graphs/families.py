@@ -13,6 +13,7 @@ from typing import List, Set
 
 import numpy as np
 
+from ..api.registry import ParamSpec, register_topology
 from ..core.exceptions import TopologyError
 from ..core.rng import SeedLike, as_generator
 from .sparse import AdjacencyTopology
@@ -176,3 +177,64 @@ def barabasi_albert(n: int, attachments: int, seed: SeedLike = None) -> Adjacenc
             adjacency[v].append(u)
             repeated.extend((u, v))
     return AdjacencyTopology(adjacency)
+
+
+@register_topology(
+    "hypercube",
+    description="The d-dimensional hypercube; n must be a power of two",
+)
+def _hypercube_of_n(n: int) -> AdjacencyTopology:
+    """Build the hypercube whose ``2^d`` node count equals *n*."""
+    dimension = max(n - 1, 1).bit_length()
+    if n < 2 or (1 << dimension) != n:
+        raise TopologyError(f"hypercube needs n = 2^d, got n={n}")
+    return hypercube(dimension)
+
+
+register_topology(
+    "star",
+    star,
+    description="Star graph: one hub, n-1 leaves",
+)
+
+
+@register_topology(
+    "random-regular",
+    params=[
+        ParamSpec("degree", kind="int", required=True, doc="common node degree"),
+        ParamSpec("graph_seed", kind="int", doc="seed for the pairing model"),
+    ],
+    description="Random degree-regular simple graph (pairing model)",
+)
+def _random_regular_of_n(n: int, degree: int, graph_seed: int = None) -> AdjacencyTopology:
+    """Registry adapter for :func:`random_regular`."""
+    return random_regular(n, degree, seed=graph_seed)
+
+
+@register_topology(
+    "watts-strogatz",
+    params=[
+        ParamSpec("neighbors", kind="int", required=True, doc="even base-ring neighbour count"),
+        ParamSpec("rewire_probability", kind="float", required=True, doc="per-edge rewiring probability"),
+        ParamSpec("graph_seed", kind="int", doc="seed for the rewiring"),
+    ],
+    description="Watts-Strogatz small world: ring lattice with random rewiring",
+)
+def _watts_strogatz_of_n(
+    n: int, neighbors: int, rewire_probability: float, graph_seed: int = None
+) -> AdjacencyTopology:
+    """Registry adapter for :func:`watts_strogatz`."""
+    return watts_strogatz(n, neighbors, rewire_probability, seed=graph_seed)
+
+
+@register_topology(
+    "barabasi-albert",
+    params=[
+        ParamSpec("attachments", kind="int", required=True, doc="edges added per arriving node"),
+        ParamSpec("graph_seed", kind="int", doc="seed for preferential attachment"),
+    ],
+    description="Barabasi-Albert preferential attachment (scale-free degrees)",
+)
+def _barabasi_albert_of_n(n: int, attachments: int, graph_seed: int = None) -> AdjacencyTopology:
+    """Registry adapter for :func:`barabasi_albert`."""
+    return barabasi_albert(n, attachments, seed=graph_seed)

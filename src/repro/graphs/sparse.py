@@ -13,6 +13,7 @@ from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
+from ..api.registry import ParamSpec, register_topology
 from ..core.exceptions import TopologyError
 from ..core.rng import SeedLike, as_generator
 from .topology import Topology
@@ -126,3 +127,38 @@ def erdos_renyi(n: int, p: float, seed: SeedLike = None, ensure_min_degree: int 
                 adjacency[u].append(v)
                 adjacency[v].append(u)
     return AdjacencyTopology(adjacency)
+
+
+register_topology(
+    "ring",
+    ring,
+    description="Cycle graph C_n",
+)
+
+
+@register_topology(
+    "torus",
+    params=[ParamSpec("rows", kind="int", doc="grid rows (default: the most square factorisation of n)")],
+    description="2-D torus grid with 4-neighbourhoods; n must factor as rows x cols",
+)
+def _torus_of_n(n: int, rows: int = None) -> AdjacencyTopology:
+    """Build a ``rows x (n / rows)`` torus for a node budget of *n*."""
+    if rows is None:
+        rows = next(r for r in range(int(np.sqrt(n)), 0, -1) if n % r == 0)
+    if rows < 1 or n % rows != 0:
+        raise TopologyError(f"torus rows={rows} does not divide n={n}")
+    return torus(rows, n // rows)
+
+
+@register_topology(
+    "erdos-renyi",
+    params=[
+        ParamSpec("p", kind="float", required=True, doc="edge probability"),
+        ParamSpec("graph_seed", kind="int", doc="seed for the random edge set"),
+        ParamSpec("min_degree", kind="int", default=1, doc="patch isolated nodes up to this degree (0: fail)"),
+    ],
+    description="Erdos-Renyi G(n, p) with isolated nodes patched to min degree",
+)
+def _erdos_renyi_of_n(n: int, p: float, graph_seed: int = None, min_degree: int = 1) -> AdjacencyTopology:
+    """Registry adapter for :func:`erdos_renyi`."""
+    return erdos_renyi(n, p, seed=graph_seed, ensure_min_degree=min_degree)

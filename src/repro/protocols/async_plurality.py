@@ -45,6 +45,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from ..api.registry import ParamSpec, register_protocol
 from ..core.colors import ColorConfiguration, assignment_from_counts
 from ..core.exceptions import ConfigurationError, ProtocolError
 from ..core.results import RunResult, Trace
@@ -581,3 +582,21 @@ class AsyncPluralityProtocol(SequentialProtocol):
 
     def is_absorbed(self, state: AsyncNodeState) -> bool:
         return bool(state.terminated.all())
+
+
+register_protocol(
+    "async-plurality",
+    description="The paper's phased asynchronous protocol with the Sync Gadget (Theorem 1.3)",
+    sequential=AsyncPluralityProtocol,
+    params=[
+        ParamSpec("delta_factor", kind="float", default=1.0, doc="working-time spread bound multiplier"),
+        ParamSpec("phases", kind="int", doc="number of Two-Choices/BP phases (default: schedule-derived)"),
+        ParamSpec("phase_factor", kind="float", default=3.0, doc="phase-count multiplier on log2 log2 n"),
+        ParamSpec("phase_offset", kind="int", default=2, doc="additive phase-count constant"),
+        ParamSpec("bp_blocks", kind="int", default=2, doc="Bit-Propagation blocks per phase"),
+        ParamSpec("min_sync_blocks", kind="int", default=2, doc="minimum Sync Gadget blocks per phase"),
+        ParamSpec("sync_samples", kind="int", doc="samples per Sync block (default: schedule-derived)"),
+        ParamSpec("endgame_factor", kind="float", default=14.0, doc="endgame length multiplier on ln n"),
+        ParamSpec("sync_enabled", kind="bool", default=True, doc="enable the Sync Gadget"),
+    ],
+)

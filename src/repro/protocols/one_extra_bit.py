@@ -38,6 +38,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..api.registry import ParamSpec, register_protocol
 from ..core.colors import ColorConfiguration
 from ..core.exceptions import ConfigurationError
 from ..core.state import NodeArrayState
@@ -237,3 +238,18 @@ class OneExtraBitCounts(CountsProtocol):
 
     def color_counts(self, counts_state: OneExtraBitCountsState) -> np.ndarray:
         return counts_state.total
+
+
+register_protocol(
+    "one-extra-bit",
+    description="Two-Choices phases + Bit-Propagation on one memory bit (Theorem 1.2)",
+    counts=OneExtraBitCounts,
+    synchronous=OneExtraBitSynchronous,
+    params=[
+        ParamSpec(
+            "bp_rounds",
+            kind="int",
+            doc="Bit-Propagation rounds per phase (default: the Theta(log k + log log n) schedule)",
+        ),
+    ],
+)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..api.registry import register_protocol
 from ..core.colors import ColorConfiguration
 from ..core.state import NodeArrayState
 from ..graphs.topology import Topology
@@ -197,3 +198,12 @@ class ThreeMajoritySequentialCounts(SequentialCountsProtocol):
         totals = transition.sum(axis=-1, keepdims=True)
         np.divide(transition, totals, out=transition, where=totals > 0)
         return transition
+
+
+register_protocol(
+    "three-majority",
+    description="Sample three uniform neighbours; adopt the majority colour (random tie-break)",
+    counts=ThreeMajorityCounts,
+    synchronous=ThreeMajoritySynchronous,
+    sequential=ThreeMajoritySequential,
+)

@@ -29,6 +29,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..api.registry import register_protocol
 from ..core.colors import ColorConfiguration
 from ..core.state import NodeArrayState
 from ..graphs.topology import Topology
@@ -206,3 +207,12 @@ class TwoChoicesSequentialCounts(SequentialCountsProtocol):
         transition[:, idx, idx] = 0.0
         transition[:, idx, idx] = np.clip(1.0 - transition.sum(axis=-1), 0.0, 1.0)
         return transition
+
+
+register_protocol(
+    "two-choices",
+    description="Sample two uniform neighbours; switch iff their colours agree (Theorem 1.1)",
+    counts=TwoChoicesCounts,
+    synchronous=TwoChoicesSynchronous,
+    sequential=TwoChoicesSequential,
+)

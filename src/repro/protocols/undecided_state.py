@@ -25,6 +25,7 @@ from typing import Tuple
 
 import numpy as np
 
+from ..api.registry import register_protocol
 from ..core.colors import ColorConfiguration
 from ..core.state import NodeArrayState
 from ..graphs.topology import Topology
@@ -268,3 +269,12 @@ class UndecidedStateSequentialCounts(SequentialCountsProtocol):
 
     def is_absorbed_ensemble(self, states: np.ndarray) -> np.ndarray:
         return _absorbed_rows(states)
+
+
+register_protocol(
+    "undecided-state",
+    description="Undecided-State Dynamics: clash with a disagreeing neighbour, then re-adopt",
+    counts=UndecidedStateCounts,
+    synchronous=UndecidedStateSynchronous,
+    sequential=UndecidedStateSequential,
+)

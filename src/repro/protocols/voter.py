@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..api.registry import register_protocol
 from ..core.colors import ColorConfiguration
 from ..core.state import NodeArrayState
 from ..graphs.topology import Topology
@@ -133,3 +134,12 @@ class VoterSequentialCounts(SequentialCountsProtocol):
 
     def tick_transition_matrices(self, states: np.ndarray) -> np.ndarray:
         return self_excluded_sample_probabilities_ensemble(states)
+
+
+register_protocol(
+    "voter",
+    description="Adopt one uniform neighbour's colour unconditionally (Theta(n) baseline)",
+    counts=VoterCounts,
+    synchronous=VoterSynchronous,
+    sequential=VoterSequential,
+)

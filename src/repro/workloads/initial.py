@@ -24,6 +24,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..api.registry import ParamSpec, register_initial
 from ..core.colors import ColorConfiguration
 from ..core.exceptions import ConfigurationError
 from ..core.rng import SeedLike, as_generator
@@ -157,3 +158,63 @@ def benchmark_split(n: int) -> ColorConfiguration:
     """
     majority = int(round(0.6 * n))
     return ColorConfiguration([majority, n - majority])
+
+
+_K = ParamSpec("k", kind="int", required=True, doc="number of colours")
+
+register_initial(
+    "balanced",
+    balanced,
+    params=[_K],
+    description="As equal as possible: c1 - ck <= 1 (zero-bias baseline)",
+)
+register_initial(
+    "additive-gap",
+    additive_gap,
+    params=[_K, ParamSpec("gap", kind="int", required=True, doc="additive bias c1 - c2")],
+    description="c1 = c2 + gap with balanced runners-up (Theorem 1.1's regime)",
+)
+register_initial(
+    "theorem-1-1-gap",
+    theorem_1_1_gap,
+    params=[_K, ParamSpec("z", kind="float", default=1.0, doc="gap multiplier on sqrt(n log n)")],
+    description="Theorem 1.1's threshold instance: gap exactly z * sqrt(n log n)",
+)
+register_initial(
+    "multiplicative-bias",
+    multiplicative_bias,
+    params=[_K, ParamSpec("ratio", kind="float", required=True, doc="bias ratio c1 / c2")],
+    description="c1 ~ ratio * c2 with balanced runners-up (Theorem 1.3's regime)",
+)
+register_initial(
+    "power-law",
+    power_law,
+    params=[_K, ParamSpec("alpha", kind="float", default=1.0, doc="Zipf exponent")],
+    description="Zipf-like support: c_j proportional to (j + 1)^(-alpha)",
+)
+register_initial(
+    "two-colors",
+    two_colors,
+    params=[ParamSpec("gap", kind="int", required=True, doc="additive bias c1 - c2")],
+    description="The classic k = 2 setting with an explicit gap",
+)
+register_initial(
+    "benchmark-split",
+    benchmark_split,
+    description="The 60/40 two-colour split of the engine benchmarks",
+)
+
+
+@register_initial(
+    "dirichlet",
+    params=[
+        _K,
+        ParamSpec("concentration", kind="float", default=1.0, doc="symmetric Dirichlet parameter"),
+        ParamSpec("init_seed", kind="int", doc="seed for the random shares"),
+    ],
+    description="Random shares drawn from a symmetric Dirichlet distribution",
+)
+def _dirichlet_of_n(n: int, k: int, concentration: float = 1.0, init_seed: int = None) -> ColorConfiguration:
+    """Registry adapter for :func:`dirichlet_random` (seed renamed so a
+    spec's master seed and the configuration's own seed stay distinct)."""
+    return dirichlet_random(n, k, concentration=concentration, seed=init_seed)

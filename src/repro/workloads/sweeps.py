@@ -66,31 +66,78 @@ def convergence_time_sweep(
     model: str = "sequential",
     make_config: Optional[Callable[[int], ColorConfiguration]] = None,
     seed: SeedLike = 20170725,
+    initial: str = "benchmark-split",
+    initial_params: Optional[Dict] = None,
 ) -> Dict[int, list]:
     """Replicated convergence-time sweep over an ``n``-grid on ``K_n``.
 
     For every ``n`` in *ns* this runs *reps* independent replications
-    of *protocol* under *model*, routed through
+    of *protocol* under *model* — the whole T-series workload shape
+    ("estimate a convergence time distribution at each grid point") at
+    the cost of one run per grid point.  Returns
+    ``{n: [RunResult, ...]}`` in replication order; each grid point
+    consumes an independent child stream of the master *seed*.
+
+    *protocol* may be a registered protocol *name* (the declarative
+    path: each grid point becomes a
+    :class:`~repro.api.spec.SimulationSpec` run through
+    :func:`repro.api.simulate`, with *initial* / *initial_params*
+    naming the initial condition) or a protocol *object* (the original
+    PR-2 path, kept as a value-for-value shim: routed through
     :func:`repro.engine.dispatch.fastest_engine` with ``n_reps=reps``
     so eligible (protocol, ``K_n``) pairs take the ensemble-vectorised
-    path — the whole T-series workload shape ("estimate a convergence
-    time distribution at each grid point") at the cost of one run per
-    grid point.  Returns ``{n: [RunResult, ...]}`` in replication
-    order; each grid point consumes an independent child stream of the
-    master *seed*.
+    engines, with *make_config* mapping ``n`` to the configuration).
+    Both paths draw every replication from the same law; the spec path
+    derives per-grid-point integer seeds (so its specs stay
+    serializable) while the object path spawns ``SeedSequence``
+    children, so only the object path replays pre-API sweeps
+    bit-for-bit.
 
     *make_config* maps ``n`` to the initial configuration (default: a
-    60/40 two-colour split, the engine benchmark workload).
+    60/40 two-colour split, the engine benchmark workload); passing it
+    forces the object path.
     """
+    if reps < 1:
+        raise ConfigurationError(f"reps must be >= 1, got {reps}")
+    spec_initial_requested = initial != "benchmark-split" or initial_params is not None
+    if spec_initial_requested and (make_config is not None or not isinstance(protocol, str)):
+        # The object path builds configurations through make_config and
+        # would silently ignore these; refuse rather than sweep the
+        # wrong workload.
+        raise ConfigurationError(
+            "initial/initial_params apply to the spec path only (string protocol, "
+            "no make_config); pass make_config to shape the object path"
+        )
+
+    if isinstance(protocol, str) and make_config is None:
+        from ..api import SimulationSpec, simulate
+        from ..core.rng import spawn_seeds
+
+        out: Dict[int, list] = {}
+        for n, child_seed in zip(ns, spawn_seeds(seed, len(ns))):
+            spec = SimulationSpec(
+                protocol=protocol,
+                n=int(n),
+                model=model,
+                initial=initial,
+                initial_params=dict(initial_params or {}),
+                reps=reps,
+                seed=child_seed,
+            )
+            out[int(n)] = simulate(spec).runs
+        return out
+
     from ..engine.dispatch import fastest_engine
     from ..engine.ensemble import run_replicated
     from ..graphs.complete import CompleteGraph
 
-    if reps < 1:
-        raise ConfigurationError(f"reps must be >= 1, got {reps}")
+    if isinstance(protocol, str):
+        from ..api import PROTOCOLS
+
+        protocol = PROTOCOLS.get(protocol).build(model)
     if make_config is None:
         make_config = benchmark_split
-    out: Dict[int, list] = {}
+    out = {}
     for n, child in zip(ns, spawn_seed_sequences(seed, len(ns))):
         engine = fastest_engine(protocol, CompleteGraph(n), model=model, n_reps=reps)
         out[int(n)] = run_replicated(engine, make_config(n), reps, seed=child)

@@ -12,6 +12,29 @@ class TestParser:
         args = build_parser().parse_args(["list"])
         assert args.command == "list"
 
+    def test_simulate_command_defaults(self):
+        args = build_parser().parse_args(["simulate", "two-choices", "--n", "1000"])
+        assert args.command == "simulate"
+        assert args.protocol == "two-choices"
+        assert args.n == 1000
+        assert args.reps == 1
+        assert args.model == "sequential"
+        assert args.topology == "complete"
+        assert not args.quick and not args.json
+
+    def test_simulate_repeatable_params(self):
+        args = build_parser().parse_args(
+            ["simulate", "one-extra-bit", "--n", "500", "--model", "synchronous",
+             "--initial", "theorem-1-1-gap", "--initial-param", "k=8", "--initial-param", "z=2.0",
+             "--param", "bp_rounds=9"]
+        )
+        assert args.initial_param == ["k=8", "z=2.0"]
+        assert args.param == ["bp_rounds=9"]
+
+    def test_simulate_requires_n(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "two-choices"])
+
     def test_run_command_defaults(self):
         args = build_parser().parse_args(["run", "T3"])
         assert args.experiment == "T3"
@@ -33,6 +56,49 @@ class TestMain:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "T1" in out and "T12" in out
+        # The registry listing rides along: protocols, topologies,
+        # initial conditions and their parameter metadata.
+        assert "two-choices" in out and "async-plurality" in out
+        assert "complete" in out and "ring" in out
+        assert "benchmark-split" in out
+        assert "epsilon*" in out  # required-param marker
+
+    def test_simulate_runs_and_summarizes(self, capsys):
+        assert main(["simulate", "two-choices", "--n", "2000", "--reps", "3", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "EnsembleCountsSequentialEngine" in out
+        assert "converged" in out and "3/3" in out
+
+    def test_simulate_quick_shrinks_n(self, capsys):
+        assert main(["simulate", "two-choices", "--n", "10000", "--reps", "4", "--quick"]) == 0
+        assert "n=5000" in capsys.readouterr().out
+
+    def test_simulate_json_payload_round_trips(self, capsys):
+        assert main(
+            ["simulate", "voter", "--n", "500", "--model", "synchronous",
+             "--initial", "two-colors", "--initial-param", "gap=100",
+             "--reps", "2", "--seed", "5", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        from repro.api import SimulationSpec
+
+        spec = SimulationSpec.from_dict(payload["spec"])
+        assert spec.protocol == "voter" and spec.initial_params == {"gap": "100"}
+        assert payload["summary"]["reps"] == 2
+        assert len(payload["runs"]) == 2
+
+    def test_simulate_spec_only_does_not_run(self, capsys):
+        assert main(["simulate", "two-choices", "--n", "123456789", "--spec-only"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n"] == 123456789 and payload["protocol"] == "two-choices"
+
+    def test_simulate_unknown_protocol_fails(self):
+        with pytest.raises(Exception, match="unknown protocol"):
+            main(["simulate", "no-such-protocol", "--n", "100"])
+
+    def test_simulate_bad_param_syntax_fails(self):
+        with pytest.raises(Exception, match="KEY=VALUE"):
+            main(["simulate", "two-choices", "--n", "100", "--param", "oops"])
 
     def test_schedule(self, capsys):
         assert main(["schedule", "4096"]) == 0
@@ -53,6 +119,22 @@ class TestMain:
         assert main(["show", "T3", "--store", store_dir]) == 0
         shown = capsys.readouterr().out
         assert "P(C1 wins)" in shown
+
+    def test_run_store_report_pipeline(self, tmp_path, capsys):
+        """run --store -> report renders the persisted payloads."""
+        store_dir = str(tmp_path / "results")
+        main(["run", "T3", "--trials", "2", "--seed", "5", "--store", store_dir])
+        capsys.readouterr()
+        assert main(["report", "--store", store_dir, "--title", "e2e report"]) == 0
+        out = capsys.readouterr().out
+        assert "e2e report" in out
+        assert "T3" in out
+        assert "Two-Choices bias threshold" in out
+
+    def test_report_on_empty_store(self, tmp_path, capsys):
+        assert main(["report", "--store", str(tmp_path / "nothing")]) == 0
+        out = capsys.readouterr().out
+        assert "no stored results" in out.lower() or out.strip()
 
     def test_show_missing_store(self, tmp_path):
         with pytest.raises(Exception):

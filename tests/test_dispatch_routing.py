@@ -1,0 +1,118 @@
+"""The DESIGN.md engine routing table, executable.
+
+One parametrized test per cell of `fastest_engine`'s routing table:
+protocol family x model x topology x n_reps, asserting the *exact*
+engine class returned (not just "some engine that runs").  If a new
+fast path changes the routing, this file is the spec that must change
+with it.
+"""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.engine.continuous import ContinuousEngine
+from repro.engine.counts import CountsEngine
+from repro.engine.counts_async import CountsContinuousEngine, CountsSequentialEngine
+from repro.engine.delays import ExponentialDelay, FixedDelay
+from repro.engine.dispatch import fastest_engine
+from repro.engine.ensemble import (
+    EnsembleCountsContinuousEngine,
+    EnsembleCountsEngine,
+    EnsembleCountsSequentialEngine,
+)
+from repro.engine.sequential import SequentialEngine
+from repro.engine.synchronous import SynchronousEngine
+from repro.graphs.complete import CompleteGraph
+from repro.graphs.sparse import ring
+from repro.protocols.async_plurality import AsyncPluralityProtocol
+from repro.protocols.one_extra_bit import OneExtraBitCounts, OneExtraBitSynchronous
+from repro.protocols.three_majority import ThreeMajorityCounts, ThreeMajoritySequential
+from repro.protocols.two_choices import (
+    TwoChoicesCounts,
+    TwoChoicesSequential,
+    TwoChoicesSequentialCounts,
+    TwoChoicesSynchronous,
+)
+from repro.protocols.undecided_state import UndecidedStateCounts, UndecidedStateSequential
+from repro.protocols.voter import VoterCounts, VoterSequential
+
+K_N = CompleteGraph(64)
+RING = ring(64)
+
+# (case id, protocol factory, model, topology, delay, n_reps, expected engine class)
+ROUTING_TABLE = [
+    # --- synchronous model ------------------------------------------------
+    ("counts/sync/K_n/1", TwoChoicesCounts, "synchronous", K_N, None, 1, CountsEngine),
+    ("counts/sync/K_n/R", TwoChoicesCounts, "synchronous", K_N, None, 8, EnsembleCountsEngine),
+    ("counts-voter/sync/K_n/R", VoterCounts, "synchronous", K_N, None, 8, EnsembleCountsEngine),
+    ("counts-3maj/sync/K_n/R", ThreeMajorityCounts, "synchronous", K_N, None, 8, EnsembleCountsEngine),
+    ("counts-usd/sync/K_n/R", UndecidedStateCounts, "synchronous", K_N, None, 8, EnsembleCountsEngine),
+    # OneExtraBit has no ensemble round hooks: the single-run counts
+    # engine is returned even when the caller asks for replications.
+    ("counts-oeb/sync/K_n/1", OneExtraBitCounts, "synchronous", K_N, None, 1, CountsEngine),
+    ("counts-oeb/sync/K_n/R", OneExtraBitCounts, "synchronous", K_N, None, 8, CountsEngine),
+    # Agent-level synchronous protocols run the reference engine anywhere.
+    ("agent/sync/K_n/1", TwoChoicesSynchronous, "synchronous", K_N, None, 1, SynchronousEngine),
+    ("agent/sync/ring/1", TwoChoicesSynchronous, "synchronous", RING, None, 1, SynchronousEngine),
+    ("agent/sync/ring/R", TwoChoicesSynchronous, "synchronous", RING, None, 8, SynchronousEngine),
+    ("agent-oeb/sync/ring/1", OneExtraBitSynchronous, "synchronous", RING, None, 1, SynchronousEngine),
+    # --- sequential model -------------------------------------------------
+    # Tick protocols with a counts companion upgrade on K_n ...
+    ("seq/K_n/1", TwoChoicesSequential, "sequential", K_N, None, 1, CountsSequentialEngine),
+    ("seq/K_n/R", TwoChoicesSequential, "sequential", K_N, None, 8, EnsembleCountsSequentialEngine),
+    ("seq-voter/K_n/1", VoterSequential, "sequential", K_N, None, 1, CountsSequentialEngine),
+    ("seq-voter/K_n/R", VoterSequential, "sequential", K_N, None, 8, EnsembleCountsSequentialEngine),
+    ("seq-3maj/K_n/R", ThreeMajoritySequential, "sequential", K_N, None, 8, EnsembleCountsSequentialEngine),
+    ("seq-usd/K_n/R", UndecidedStateSequential, "sequential", K_N, None, 8, EnsembleCountsSequentialEngine),
+    # ... and counts tick protocols route there directly.
+    ("seq-counts/K_n/1", TwoChoicesSequentialCounts, "sequential", K_N, None, 1, CountsSequentialEngine),
+    ("seq-counts/K_n/R", TwoChoicesSequentialCounts, "sequential", K_N, None, 8, EnsembleCountsSequentialEngine),
+    # Off K_n the agent tick engine runs, whatever n_reps is.
+    ("seq/ring/1", TwoChoicesSequential, "sequential", RING, None, 1, SequentialEngine),
+    ("seq/ring/R", TwoChoicesSequential, "sequential", RING, None, 8, SequentialEngine),
+    # No counts companion (the phased protocol): agent engine even on K_n.
+    ("seq-async-plurality/K_n/1", AsyncPluralityProtocol, "sequential", K_N, None, 1, SequentialEngine),
+    ("seq-async-plurality/K_n/R", AsyncPluralityProtocol, "sequential", K_N, None, 8, SequentialEngine),
+    # --- continuous model -------------------------------------------------
+    ("cont/K_n/1", TwoChoicesSequential, "continuous", K_N, None, 1, CountsContinuousEngine),
+    ("cont/K_n/R", TwoChoicesSequential, "continuous", K_N, None, 8, EnsembleCountsContinuousEngine),
+    ("cont-counts/K_n/1", TwoChoicesSequentialCounts, "continuous", K_N, None, 1, CountsContinuousEngine),
+    ("cont/ring/1", TwoChoicesSequential, "continuous", RING, None, 1, ContinuousEngine),
+    # A zero delay model keeps the counts fast path ...
+    ("cont-zero-delay/K_n/1", TwoChoicesSequential, "continuous", K_N, FixedDelay(0.0), 1, CountsContinuousEngine),
+    # ... a real one forces the event-queue reference engine.
+    ("cont-delay/K_n/1", TwoChoicesSequential, "continuous", K_N, ExponentialDelay(1.0), 1, ContinuousEngine),
+    ("cont-delay/K_n/R", TwoChoicesSequential, "continuous", K_N, ExponentialDelay(1.0), 8, ContinuousEngine),
+    ("cont-async-plurality/K_n/1", AsyncPluralityProtocol, "continuous", K_N, None, 1, ContinuousEngine),
+]
+
+
+@pytest.mark.parametrize(
+    "factory,model,topology,delay,n_reps,expected",
+    [pytest.param(*row[1:], id=row[0]) for row in ROUTING_TABLE],
+)
+def test_routing_table_cell(factory, model, topology, delay, n_reps, expected):
+    engine = fastest_engine(factory(), topology, model=model, delay_model=delay, n_reps=n_reps)
+    assert type(engine) is expected
+
+
+# (case id, protocol factory, model, topology, delay, n_reps, error match)
+REJECTION_TABLE = [
+    ("counts-needs-K_n", TwoChoicesCounts, "synchronous", RING, None, 1, "needs K_n"),
+    ("seq-counts-needs-K_n", TwoChoicesSequentialCounts, "sequential", RING, None, 1, "needs K_n"),
+    ("sync-rejects-delays", TwoChoicesCounts, "synchronous", K_N, ExponentialDelay(1.0), 1, "delay"),
+    ("seq-rejects-delays", TwoChoicesSequential, "sequential", K_N, ExponentialDelay(1.0), 1, "delay"),
+    ("counts-protocol-lacks-sync", TwoChoicesSequentialCounts, "synchronous", K_N, None, 1, "synchronous"),
+    ("sync-protocol-lacks-seq", TwoChoicesSynchronous, "sequential", K_N, None, 1, "sequential"),
+    ("unknown-model", TwoChoicesSequential, "adiabatic", K_N, None, 1, "unknown model"),
+    ("bad-n-reps", TwoChoicesSequential, "sequential", K_N, None, 0, "n_reps"),
+]
+
+
+@pytest.mark.parametrize(
+    "factory,model,topology,delay,n_reps,match",
+    [pytest.param(*row[1:], id=row[0]) for row in REJECTION_TABLE],
+)
+def test_routing_table_rejections(factory, model, topology, delay, n_reps, match):
+    with pytest.raises(ConfigurationError, match=match):
+        fastest_engine(factory(), topology, model=model, delay_model=delay, n_reps=n_reps)

@@ -1,0 +1,80 @@
+"""End-to-end coverage for the JSON result store and the persisted
+report pipeline (`run --store` -> `show` / `report`)."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import ExperimentReport
+from repro.bench.report import render_report
+from repro.bench.store import ResultStore
+from repro.core.exceptions import ExperimentError
+
+
+def _report(eid="T99", checks=None):
+    return ExperimentReport(
+        experiment_id=eid,
+        title="synthetic report",
+        claim="round trips survive the store",
+        headers=["x", "y"],
+        rows=[[1, 2.5], ["a", None]],
+        checks=checks if checks is not None else {"shape": True},
+        notes=["a note"],
+        params={"n": 100, "trials": 3},
+        elapsed_seconds=0.25,
+    )
+
+
+class TestResultStoreRoundTrip:
+    def test_save_load_is_identity_on_payload(self, tmp_path):
+        store = ResultStore(str(tmp_path / "results"))
+        payload = _report().to_dict()
+        path = store.save("T99", payload)
+        assert path.exists()
+        assert store.load("T99") == payload
+
+    def test_payload_is_valid_json_on_disk(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.save("T1", _report("T1").to_dict())
+        with open(tmp_path / "T1.json", encoding="utf-8") as handle:
+            assert json.load(handle)["experiment_id"] == "T1"
+
+    def test_save_overwrites(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.save("T1", {"experiment_id": "T1", "version": 1})
+        store.save("T1", {"experiment_id": "T1", "version": 2})
+        assert store.load("T1")["version"] == 2
+
+    def test_exists_and_list_ids(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        assert not store.exists("T1")
+        assert store.list_ids() == []
+        store.save("T2", _report("T2").to_dict())
+        store.save("T1", _report("T1").to_dict())
+        assert store.exists("T1")
+        assert store.list_ids() == ["T1", "T2"]
+
+    def test_missing_load_raises(self, tmp_path):
+        with pytest.raises(ExperimentError, match="no stored result"):
+            ResultStore(str(tmp_path)).load("T404")
+
+    def test_slashes_in_ids_are_sanitised(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.save("a/b", {"experiment_id": "a/b"})
+        assert (tmp_path / "a_b.json").exists()
+        assert store.load("a/b")["experiment_id"] == "a/b"
+
+    def test_empty_id_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError, match="non-empty"):
+            ResultStore(str(tmp_path)).save("", {})
+
+
+class TestRenderReportFromStore:
+    def test_report_includes_every_stored_experiment(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.save("T1", _report("T1").to_dict())
+        store.save("T2", _report("T2", checks={"shape": False}).to_dict())
+        text = render_report(store, title="store test")
+        assert "store test" in text
+        assert "T1" in text and "T2" in text
+        assert "FAIL" in text  # T2's failing check is surfaced
