@@ -44,7 +44,17 @@ Layout
     The experiment harness regenerating every claim-derived table.
 """
 
-from .api import SimulationResult, SimulationSpec, resolve, simulate
+from .api import (
+    CampaignResult,
+    CampaignSpec,
+    ResultCache,
+    SimulationResult,
+    SimulationSpec,
+    SweepSpec,
+    resolve,
+    run_campaign,
+    simulate,
+)
 from .core import (
     AsyncNodeState,
     ColorConfiguration,
@@ -102,6 +112,11 @@ __all__ = [
     "SimulationResult",
     "simulate",
     "resolve",
+    "SweepSpec",
+    "CampaignSpec",
+    "CampaignResult",
+    "run_campaign",
+    "ResultCache",
     "AsyncNodeState",
     "ColorConfiguration",
     "ConfigurationError",

@@ -31,8 +31,26 @@ Modules
 ``results``
     :class:`SimulationResult` — per-rep ``RunResult`` list plus
     convergence-time statistics.
+``campaign``
+    The grid layer: :class:`SweepSpec` axes expand over a base spec
+    into a :class:`CampaignSpec`; :func:`run_campaign` executes the
+    points (serial or process-parallel) behind a content-addressed
+    :class:`ResultCache` and aggregates a tidy table.
+``executors`` / ``cache``
+    The pluggable execution backends and the persistent result cache
+    behind ``run_campaign``.
 """
 
+from .cache import ResultCache, spec_key
+from .campaign import (
+    CampaignPoint,
+    CampaignResult,
+    CampaignSpec,
+    SweepSpec,
+    point_seed,
+    run_campaign,
+)
+from .executors import EXECUTORS, ProcessExecutor, SerialExecutor
 from .registry import (
     DELAYS,
     INITIALS,
@@ -56,6 +74,17 @@ __all__ = [
     "ResolvedSimulation",
     "simulate",
     "resolve",
+    "SweepSpec",
+    "CampaignSpec",
+    "CampaignPoint",
+    "CampaignResult",
+    "run_campaign",
+    "point_seed",
+    "ResultCache",
+    "spec_key",
+    "EXECUTORS",
+    "SerialExecutor",
+    "ProcessExecutor",
     "ParamSpec",
     "PROTOCOLS",
     "TOPOLOGIES",

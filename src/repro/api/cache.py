@@ -1,0 +1,155 @@
+"""Content-addressed result cache for the campaign layer.
+
+A :class:`ResultCache` never runs anything: it maps the *content* of a
+:class:`~repro.api.spec.SimulationSpec` to a persisted
+:class:`~repro.api.results.SimulationResult` payload, so a campaign
+that has already computed a grid point skips it on resume and a warm
+replay of a whole campaign performs zero engine runs.
+
+The key (:func:`spec_key`) is the SHA-256 hex digest of the canonical
+JSON form of ``spec.to_dict()`` — ``json.dumps(payload, sort_keys=True,
+separators=(",", ":"))`` — so any two specs with equal content share a
+key regardless of construction order, and any change to any field
+(including the seed) produces a different key.  Entries live at
+``<directory>/<key[:2]>/<key>.json``; the two-character fan-out keeps
+directory listings manageable for large campaigns.
+
+Specs with ``seed=None`` are not reproducible (every run draws fresh OS
+entropy) and are refused, as are traced specs (``record_trace=True`` —
+the JSON payload drops traces by design, so serving one from the cache
+would silently lose data).  :func:`repro.api.campaign.run_campaign`
+enforces both before it ever consults the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+from ..core.exceptions import ConfigurationError, ExperimentError
+from .results import SimulationResult
+from .spec import SimulationSpec
+
+__all__ = ["spec_key", "ResultCache"]
+
+#: Payload format version; bump when the entry layout changes so stale
+#: entries read as misses instead of mis-parsing.
+CACHE_FORMAT = 1
+
+
+def spec_key(spec: Union[SimulationSpec, Dict[str, Any]]) -> str:
+    """Canonical content hash of a spec (SHA-256 hex digest).
+
+    Accepts either a :class:`SimulationSpec` or its ``to_dict`` form;
+    both hash identically, so keys can be computed without constructing
+    spec objects (e.g. by out-of-process workers).
+    """
+    payload = spec.to_dict() if isinstance(spec, SimulationSpec) else dict(spec)
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _cacheable(spec: SimulationSpec) -> None:
+    """Raise unless *spec* is deterministic and loss-free under caching."""
+    if spec.seed is None:
+        raise ConfigurationError(
+            "cannot cache a spec with seed=None: the result is not a function of the spec"
+        )
+    if spec.record_trace:
+        raise ConfigurationError(
+            "cannot cache a traced spec: result payloads drop traces by design"
+        )
+
+
+class ResultCache:
+    """Directory-backed, content-addressed store of simulation results.
+
+    Writes are atomic (temp file + ``os.replace``), so concurrent
+    campaign processes sharing one cache directory can race on the same
+    key and the loser simply overwrites the winner with identical bytes.
+    """
+
+    def __init__(self, directory: Union[str, os.PathLike] = ".repro-cache"):
+        self.directory = Path(directory)
+
+    # -- key/path layout ----------------------------------------------
+    def path_for(self, key: str) -> Path:
+        """``<directory>/<key[:2]>/<key>.json``."""
+        return self.directory / key[:2] / f"{key}.json"
+
+    # -- lookup --------------------------------------------------------
+    def get(self, spec: SimulationSpec) -> Optional[SimulationResult]:
+        """The cached result for *spec*, or ``None`` on a miss.
+
+        An unreadable or format-mismatched entry reads as a miss (it
+        will be overwritten by the next :meth:`put`); an entry whose
+        stored spec differs from *spec* raises — that is corruption or
+        a hash collision, never something to silently serve.
+        """
+        _cacheable(spec)
+        payload = self._read(self.path_for(spec_key(spec)))
+        if payload is None:
+            return None
+        if payload["result"]["spec"] != spec.to_dict():
+            raise ExperimentError(
+                f"cache entry {spec_key(spec)} holds a different spec; "
+                f"the cache directory {self.directory} is corrupt"
+            )
+        return SimulationResult.from_dict(payload["result"])
+
+    def put(self, spec: SimulationSpec, result: Union[SimulationResult, Dict[str, Any]]) -> Path:
+        """Persist *result* (object or ``to_dict`` payload) under *spec*'s key."""
+        _cacheable(spec)
+        result_payload = result.to_dict() if isinstance(result, SimulationResult) else result
+        if result_payload["spec"] != spec.to_dict():
+            raise ExperimentError("result payload was produced by a different spec")
+        key = spec_key(spec)
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"format": CACHE_FORMAT, "key": key, "result": result_payload}
+        handle = tempfile.NamedTemporaryFile(
+            "w", encoding="utf-8", dir=path.parent, suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, spec: SimulationSpec) -> bool:
+        _cacheable(spec)
+        return self._read(self.path_for(spec_key(spec))) is not None
+
+    # -- maintenance ---------------------------------------------------
+    def keys(self) -> Iterator[str]:
+        """Keys of every readable entry currently on disk."""
+        if not self.directory.exists():
+            return
+        for path in sorted(self.directory.glob("??/*.json")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def _read(self, path: Path) -> Optional[Dict[str, Any]]:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(payload, dict) or payload.get("format") != CACHE_FORMAT:
+            return None
+        result = payload.get("result")
+        if not isinstance(result, dict) or "spec" not in result:
+            return None
+        return payload

@@ -1,0 +1,488 @@
+"""The campaign layer: declarative sweeps over :func:`repro.api.simulate`.
+
+Every experiment in the paper's T-series is a *grid* of the one shape
+:class:`~repro.api.spec.SimulationSpec` made declarative — protocol × n
+× model × initial split, replicated.  This module lifts the grid itself
+into the API:
+
+>>> from repro.api import CampaignSpec, SimulationSpec, SweepSpec, run_campaign
+>>> campaign = CampaignSpec(
+...     base=SimulationSpec(protocol="two-choices", n=1000, reps=4),
+...     sweep=SweepSpec(axes={"n": [1000, 2000, 4000]}),
+...     seed=7,
+... )
+>>> result = run_campaign(campaign)          # doctest: +SKIP
+>>> result.column("mean_parallel_time")      # doctest: +SKIP
+
+A :class:`SweepSpec` names parameter axes and expands them (cartesian
+``product`` or aligned ``zip``) into override dicts; a
+:class:`CampaignSpec` applies each override to a base spec and pins a
+per-point seed; :func:`run_campaign` pushes the points through a
+pluggable executor (:mod:`repro.api.executors`) behind a
+content-addressed :class:`~repro.api.cache.ResultCache`, and aggregates
+the per-point summaries into the tidy rows/columns table
+:func:`repro.bench.tables.format_table` and :mod:`repro.viz` consume.
+
+Seed-derivation rule
+--------------------
+Unless a point's overrides pin ``seed`` explicitly (via a ``"seed"``
+axis), point *i* receives ::
+
+    int(SeedSequence(entropy=campaign.seed,
+                     spawn_key=(CAMPAIGN_SPAWN_KEY, i)).generate_state(1, uint64)[0] >> 1)
+
+a pure function of the campaign master seed and the point's position in
+the expansion order — never of the executor, worker count, chunking, or
+which points were served from cache.  Serial and process executors
+therefore produce identical campaign results, replication for
+replication.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.exceptions import ConfigurationError
+from .cache import ResultCache, spec_key
+from .executors import resolve_executor
+from .results import SimulationResult
+from .spec import SimulationSpec
+
+__all__ = [
+    "SweepSpec",
+    "CampaignSpec",
+    "CampaignPoint",
+    "CampaignResult",
+    "point_seed",
+    "run_campaign",
+]
+
+#: Spawn-key namespace for campaign point seeds ("CAMP" in ASCII); keeps
+#: campaign streams disjoint from every other SeedSequence consumer.
+CAMPAIGN_SPAWN_KEY = 0x43414D50
+
+_STREAM_END = object()
+
+#: Summary statistics every campaign table carries, in column order.
+STAT_COLUMNS = (
+    "reps",
+    "converged",
+    "converged_rate",
+    "plurality_rate",
+    "mean_rounds",
+    "mean_parallel_time",
+    "std_parallel_time",
+)
+
+
+def point_seed(master_seed: int, index: int) -> int:
+    """Deterministic per-point seed (see the module docstring's rule)."""
+    sequence = np.random.SeedSequence(
+        entropy=int(master_seed), spawn_key=(CAMPAIGN_SPAWN_KEY, int(index))
+    )
+    return int(sequence.generate_state(1, np.uint64)[0] >> np.uint64(1))
+
+
+def _spec_field_names() -> set:
+    import dataclasses
+
+    return {f.name for f in dataclasses.fields(SimulationSpec)}
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Named parameter axes plus an expansion mode.
+
+    Axis names address :class:`SimulationSpec` fields directly
+    (``"n"``, ``"protocol"``, ``"reps"``, ``"seed"``, ...) or reach one
+    level into a parameter dict with a dot
+    (``"initial_params.k"`` merges ``k`` into the base spec's
+    ``initial_params``).  ``mode="product"`` expands the cartesian grid
+    in row-major axis-insertion order; ``mode="zip"`` aligns equal-length
+    axes element-wise (the shape of "these cells, with these seeds").
+    An empty ``axes`` dict expands to a single point — the base spec
+    itself.
+
+    Axis values must survive JSON (ints, floats, strings, lists/dicts
+    thereof) so the sweep round-trips through :meth:`to_dict`.
+    """
+
+    axes: Dict[str, Tuple[Any, ...]] = field(default_factory=dict)
+    mode: str = "product"
+
+    def __post_init__(self):
+        normalized = {str(name): tuple(values) for name, values in dict(self.axes).items()}
+        object.__setattr__(self, "axes", normalized)
+        if self.mode not in ("product", "zip"):
+            raise ConfigurationError(
+                f"unknown sweep mode {self.mode!r}; expected 'product' or 'zip'"
+            )
+        valid = _spec_field_names()
+        for name, values in normalized.items():
+            if not values:
+                raise ConfigurationError(f"sweep axis {name!r} has no values")
+            head = name.split(".", 1)[0]
+            if head not in valid:
+                raise ConfigurationError(
+                    f"unknown sweep axis {name!r}; axes address SimulationSpec fields "
+                    f"({', '.join(sorted(valid))}) or '<field>_params.<key>' paths"
+                )
+            if "." in name and not head.endswith("_params"):
+                raise ConfigurationError(
+                    f"dotted axis {name!r} must reach into a *_params dict"
+                )
+        if self.mode == "zip" and normalized:
+            lengths = {name: len(values) for name, values in normalized.items()}
+            if len(set(lengths.values())) > 1:
+                raise ConfigurationError(f"zip-mode axes must have equal lengths, got {lengths}")
+
+    @property
+    def size(self) -> int:
+        """Number of points the sweep expands to."""
+        if not self.axes:
+            return 1
+        if self.mode == "zip":
+            return len(next(iter(self.axes.values())))
+        out = 1
+        for values in self.axes.values():
+            out *= len(values)
+        return out
+
+    def expand(self) -> List[Dict[str, Any]]:
+        """Override dicts in deterministic expansion order."""
+        if not self.axes:
+            return [{}]
+        names = list(self.axes)
+        if self.mode == "zip":
+            rows = zip(*self.axes.values())
+        else:
+            rows = itertools.product(*self.axes.values())
+        return [dict(zip(names, row)) for row in rows]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Loss-free JSON-ready form; inverse of :meth:`from_dict`."""
+        return {"axes": {name: list(values) for name, values in self.axes.items()},
+                "mode": self.mode}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SweepSpec":
+        unknown = sorted(set(payload) - {"axes", "mode"})
+        if unknown:
+            raise ConfigurationError(f"unknown SweepSpec field(s): {unknown}")
+        return cls(axes=dict(payload.get("axes", {})), mode=payload.get("mode", "product"))
+
+
+def _apply_overrides(base: SimulationSpec, overrides: Mapping[str, Any]) -> SimulationSpec:
+    """One grid point: *base* with *overrides* applied (dots merge)."""
+    changes: Dict[str, Any] = {}
+    for name, value in overrides.items():
+        if "." in name:
+            head, _, key = name.partition(".")
+            merged = dict(changes.get(head, getattr(base, head)))
+            merged[key] = value
+            changes[head] = merged
+        else:
+            changes[name] = value
+    return base.replace(**changes)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A base spec, a sweep over it, and one master seed.
+
+    The campaign owns seeding: ``base.seed`` must be ``None`` and each
+    expanded point receives :func:`point_seed` of (``seed``, position)
+    unless a ``"seed"`` axis pins it explicitly.  ``sweep`` may be given
+    as a plain ``{axis: values}`` dict (wrapped into a product-mode
+    :class:`SweepSpec`).
+    """
+
+    base: SimulationSpec
+    sweep: SweepSpec = field(default_factory=SweepSpec)
+    seed: int = 20170725
+    name: str = ""
+
+    def __post_init__(self):
+        if isinstance(self.sweep, Mapping):
+            object.__setattr__(self, "sweep", SweepSpec(axes=dict(self.sweep)))
+        if not isinstance(self.base, SimulationSpec):
+            raise ConfigurationError(
+                f"base must be a SimulationSpec, got {type(self.base).__name__}"
+            )
+        if not isinstance(self.sweep, SweepSpec):
+            raise ConfigurationError(
+                f"sweep must be a SweepSpec or an axes mapping, got {type(self.sweep).__name__}"
+            )
+        if self.base.seed is not None:
+            raise ConfigurationError(
+                "the campaign owns seeding: leave base.seed None (add an explicit "
+                "'seed' axis to pin per-point seeds)"
+            )
+        if not isinstance(self.seed, int):
+            raise ConfigurationError(f"campaign seed must be an int, got {type(self.seed).__name__}")
+
+    @property
+    def size(self) -> int:
+        return self.sweep.size
+
+    def points(self) -> List[SimulationSpec]:
+        """The concrete specs, seeds pinned, in expansion order."""
+        out = []
+        for index, overrides in enumerate(self.sweep.expand()):
+            spec = _apply_overrides(self.base, overrides)
+            if spec.seed is None:
+                spec = spec.replace(seed=point_seed(self.seed, index))
+            out.append(spec)
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Loss-free JSON-ready form; inverse of :meth:`from_dict`."""
+        return {
+            "base": self.base.to_dict(),
+            "sweep": self.sweep.to_dict(),
+            "seed": self.seed,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CampaignSpec":
+        unknown = sorted(set(payload) - {"base", "sweep", "seed", "name"})
+        if unknown:
+            raise ConfigurationError(f"unknown CampaignSpec field(s): {unknown}")
+        return cls(
+            base=SimulationSpec.from_dict(payload["base"]),
+            sweep=SweepSpec.from_dict(payload.get("sweep", {"axes": {}, "mode": "product"})),
+            seed=payload.get("seed", 20170725),
+            name=payload.get("name", ""),
+        )
+
+    def replace(self, **changes) -> "CampaignSpec":
+        import dataclasses
+
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass
+class CampaignPoint:
+    """One grid point of a finished campaign."""
+
+    index: int
+    overrides: Dict[str, Any]
+    spec: SimulationSpec
+    result: SimulationResult
+    cached: bool
+    key: Optional[str]
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate of one campaign run.
+
+    ``points`` are in expansion order regardless of executor or cache
+    state.  The tidy table (:meth:`table` / :meth:`columns` /
+    :meth:`rows`) has one row per point: the axis coordinates followed
+    by :data:`STAT_COLUMNS` from each point's
+    :meth:`~repro.api.results.SimulationResult.summary`.
+    """
+
+    campaign: CampaignSpec
+    points: List[CampaignPoint] = field(default_factory=list)
+    executor: str = "serial"
+    elapsed_seconds: float = 0.0
+    engine_runs: int = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.points)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for p in self.points if p.cached)
+
+    def axis_names(self) -> List[str]:
+        return list(self.campaign.sweep.axes)
+
+    def columns(self) -> List[str]:
+        return self.axis_names() + list(STAT_COLUMNS)
+
+    def rows(self) -> List[List[Any]]:
+        axes = self.axis_names()
+        out = []
+        for p in self.points:
+            summary = p.result.summary()
+            out.append([p.overrides.get(a) for a in axes] + [summary[s] for s in STAT_COLUMNS])
+        return out
+
+    def table(self) -> Tuple[List[str], List[List[Any]]]:
+        """``(columns, rows)`` — the shape ``format_table`` consumes."""
+        return self.columns(), self.rows()
+
+    def column(self, name: str) -> List[Any]:
+        """One tidy column by name (axis coordinate or summary stat)."""
+        columns = self.columns()
+        try:
+            position = columns.index(name)
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown column {name!r}; available: {', '.join(columns)}"
+            ) from None
+        return [row[position] for row in self.rows()]
+
+    def results(self) -> List[SimulationResult]:
+        return [p.result for p in self.points]
+
+    def format(self) -> str:
+        """Status line + aligned table, for terminals."""
+        from ..bench.tables import format_table
+
+        header = (
+            f"campaign {self.campaign.name or '(unnamed)'}: {self.size} point(s), "
+            f"executor={self.executor}, engine runs={self.engine_runs}, "
+            f"cache hits={self.cache_hits}, wall-clock={self.elapsed_seconds:.2f}s"
+        )
+        columns, rows = self.table()
+        return header + "\n" + format_table(columns, rows)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready payload.
+
+        Everything outside the ``"execution"`` block is a pure function
+        of the campaign spec and the simulation values — byte-identical
+        between a cold run, a warm cache replay and any executor.
+        Wall-clock, executor identity and cache accounting live under
+        ``"execution"`` only.
+        """
+        return {
+            "campaign": self.campaign.to_dict(),
+            "columns": self.columns(),
+            "rows": self.rows(),
+            "points": [
+                {
+                    "index": p.index,
+                    "overrides": dict(p.overrides),
+                    "key": p.key,
+                    "engine": p.result.engine,
+                    "summary": p.result.summary(),
+                }
+                for p in self.points
+            ],
+            "execution": {
+                "executor": self.executor,
+                "elapsed_seconds": self.elapsed_seconds,
+                "engine_runs": self.engine_runs,
+                "cache_hits": self.cache_hits,
+                "points": self.size,
+                "cached": [p.cached for p in self.points],
+            },
+        }
+
+
+def run_campaign(
+    campaign: CampaignSpec,
+    executor: Union[str, Any] = "serial",
+    cache: Union[None, str, ResultCache] = None,
+    workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+) -> CampaignResult:
+    """Run every point of *campaign* and aggregate the summaries.
+
+    Parameters
+    ----------
+    executor:
+        ``"serial"`` (default), ``"process"``, or any object with a
+        ``map_payloads`` method (see :mod:`repro.api.executors`).
+    cache:
+        ``None`` (always run), a directory path, or a
+        :class:`~repro.api.cache.ResultCache`.  Points already present
+        are served from disk without touching an engine; fresh results
+        are persisted as they arrive, so an interrupted campaign resumes
+        where it stopped.
+    workers / chunksize:
+        Forwarded to the process executor when *executor* is a string.
+
+    Traced points (``record_trace=True``) are pinned to the driver
+    process and bypass the cache: traces do not survive the payload
+    round trip, and losing them silently would be worse than running
+    in-process.  Everything else — serial or process, cold or warm —
+    flows through the same ``to_dict``/``from_dict`` normalization, so
+    the returned values are identical whichever path ran.
+    """
+    from .runner import simulate
+
+    if not isinstance(campaign, CampaignSpec):
+        raise ConfigurationError(
+            f"run_campaign() takes a CampaignSpec, got {type(campaign).__name__}"
+        )
+    executor_obj = resolve_executor(executor, workers=workers, chunksize=chunksize)
+    cache_obj = ResultCache(cache) if isinstance(cache, (str, bytes)) or hasattr(cache, "__fspath__") else cache
+    if cache_obj is not None and not isinstance(cache_obj, ResultCache):
+        raise ConfigurationError(
+            f"cache must be None, a directory path, or a ResultCache, got {type(cache).__name__}"
+        )
+
+    overrides = campaign.sweep.expand()
+    specs = campaign.points()
+    start = time.perf_counter()
+    results: List[Optional[SimulationResult]] = [None] * len(specs)
+    cached = [False] * len(specs)
+    keys: List[Optional[str]] = [None if s.record_trace else spec_key(s) for s in specs]
+
+    pending: List[int] = []
+    for index, spec in enumerate(specs):
+        if cache_obj is not None and not spec.record_trace:
+            hit = cache_obj.get(spec)
+            if hit is not None:
+                results[index] = hit
+                cached[index] = True
+                continue
+        pending.append(index)
+
+    batch = [i for i in pending if not specs[i].record_trace]
+    executor_name = getattr(executor_obj, "name", type(executor_obj).__name__)
+    stream = iter(executor_obj.map_payloads([specs[i].to_dict() for i in batch]))
+    # Consume lazily and persist each payload the moment it arrives, so
+    # an interrupted campaign keeps its completed prefix in the cache
+    # and resumes from there.
+    for position, index in enumerate(batch):
+        try:
+            payload = next(stream)
+        except StopIteration:
+            raise ConfigurationError(
+                f"executor {executor_name!r} returned {position} payload(s) "
+                f"for {len(batch)} spec(s)"
+            ) from None
+        if cache_obj is not None:
+            cache_obj.put(specs[index], payload)
+        results[index] = SimulationResult.from_dict(payload)
+    if next(stream, _STREAM_END) is not _STREAM_END:
+        raise ConfigurationError(
+            f"executor {executor_name!r} returned more than {len(batch)} payload(s)"
+        )
+    for index in pending:
+        if specs[index].record_trace:
+            results[index] = simulate(specs[index])
+
+    elapsed = time.perf_counter() - start
+    points = [
+        CampaignPoint(
+            index=index,
+            overrides=overrides[index],
+            spec=specs[index],
+            result=results[index],
+            cached=cached[index],
+            key=keys[index],
+        )
+        for index in range(len(specs))
+    ]
+    return CampaignResult(
+        campaign=campaign,
+        points=points,
+        executor=getattr(executor_obj, "name", type(executor_obj).__name__),
+        elapsed_seconds=elapsed,
+        engine_runs=len(pending),
+    )

@@ -1,0 +1,139 @@
+"""Campaign executors: how a batch of spec payloads gets run.
+
+The executor contract is deliberately tiny so backends can be swapped
+(the lesson PAPERS.md draws from ELSI's unified solver interface): an
+executor is any object with a ``name`` attribute and a method ::
+
+    map_payloads(payloads: list[dict]) -> iterable[dict]
+
+that maps ``SimulationSpec.to_dict()`` payloads to
+``SimulationResult.to_dict()`` payloads **in order** — one result per
+spec, as an iterable (a list is fine; the built-in executors are
+generators so results stream back as they complete, which is what lets
+``run_campaign`` persist each point to the cache the moment it
+finishes instead of after the whole batch — an interrupted campaign
+keeps its completed prefix).  Executors move plain dicts, never live
+objects: dicts pickle cheaply and identically across process
+boundaries, and forcing *every* executor (including the in-process
+one) through the same dict round trip is what makes ``run_campaign``
+executor-independent by construction — a serial run, a 4-worker
+process run and a warm cache replay all hand back byte-equal payloads.
+
+Seeding never involves the executor: every spec arrives with its
+per-point seed already pinned by
+:meth:`repro.api.campaign.CampaignSpec.points`, so results cannot
+depend on worker count, chunking, or completion order.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Any, Dict, Iterator, Optional, Sequence, Union
+
+from ..core.exceptions import ConfigurationError
+
+__all__ = [
+    "execute_spec_payload",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "EXECUTORS",
+    "resolve_executor",
+]
+
+
+def execute_spec_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one spec payload through :func:`repro.api.simulate`.
+
+    Module-level (hence picklable) so :class:`ProcessExecutor` can ship
+    it to workers; imports are deferred per the registry's import-cycle
+    rule and so forked workers pay nothing extra.
+    """
+    from .runner import simulate
+    from .spec import SimulationSpec
+
+    return simulate(SimulationSpec.from_dict(payload)).to_dict()
+
+
+class SerialExecutor:
+    """Run every point in the calling process, one after another."""
+
+    name = "serial"
+
+    def map_payloads(self, payloads: Sequence[Dict[str, Any]]) -> Iterator[Dict[str, Any]]:
+        for payload in payloads:
+            yield execute_spec_payload(payload)
+
+
+class ProcessExecutor:
+    """Chunked dispatch over a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+    Parameters
+    ----------
+    workers:
+        Pool size (default: ``os.cpu_count()``).  The pool is never
+        larger than the batch.
+    chunksize:
+        Points handed to a worker per dispatch.  Default aims at four
+        chunks per worker — large enough to amortise pickling, small
+        enough to keep the pool busy when point costs are uneven.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None, chunksize: Optional[int] = None):
+        if workers is not None and workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if chunksize is not None and chunksize < 1:
+            raise ConfigurationError(f"chunksize must be >= 1, got {chunksize}")
+        self.workers = workers
+        self.chunksize = chunksize
+
+    def map_payloads(self, payloads: Sequence[Dict[str, Any]]) -> Iterator[Dict[str, Any]]:
+        from concurrent.futures import ProcessPoolExecutor
+
+        payloads = list(payloads)
+        if not payloads:
+            return
+        workers = min(self.workers or os.cpu_count() or 1, len(payloads))
+        chunksize = self.chunksize or max(1, math.ceil(len(payloads) / (4 * workers)))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # pool.map yields in input order as chunks complete, so the
+            # caller can checkpoint each result while later points run.
+            yield from pool.map(execute_spec_payload, payloads, chunksize=chunksize)
+
+
+#: Registered executor factories, keyed by the names ``run_campaign`` accepts.
+EXECUTORS = {
+    "serial": SerialExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def resolve_executor(
+    executor: Union[str, Any],
+    workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+):
+    """Turn the ``executor=`` argument of ``run_campaign`` into an object.
+
+    Strings go through :data:`EXECUTORS` (``workers`` / ``chunksize``
+    apply to the process executor); objects pass through unchanged after
+    a duck-type check, so callers can bring their own backend.
+    """
+    if isinstance(executor, str):
+        try:
+            factory = EXECUTORS[executor]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown executor {executor!r}; registered: {', '.join(sorted(EXECUTORS))}"
+            ) from None
+        if factory is ProcessExecutor:
+            return ProcessExecutor(workers=workers, chunksize=chunksize)
+        return factory()
+    if not callable(getattr(executor, "map_payloads", None)):
+        raise ConfigurationError(
+            f"an executor needs a map_payloads(list[dict]) -> iterable[dict] method; "
+            f"got {type(executor).__name__}"
+        )
+    return executor

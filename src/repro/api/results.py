@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Mapping
 
 from ..core.results import RunResult
 from .spec import SimulationSpec
@@ -116,3 +116,20 @@ class SimulationResult:
             "summary": self.summary(),
             "runs": [r.to_dict() for r in self.runs],
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        The summary block is not stored back — every statistic is a
+        property recomputed from the rebuilt runs, so a payload edited
+        by hand cannot disagree with itself.  This is the deserialiser
+        the campaign :class:`~repro.api.cache.ResultCache` and the
+        process executor round-trip every result through.
+        """
+        return cls(
+            spec=SimulationSpec.from_dict(payload["spec"]),
+            runs=[RunResult.from_dict(r) for r in payload["runs"]],
+            engine=payload.get("engine", ""),
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+        )

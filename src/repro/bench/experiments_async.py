@@ -16,7 +16,7 @@ import numpy as np
 from ..analysis import statistics as stats
 from ..analysis.convergence import synchrony_summary
 from ..analysis.polya import PolyaUrn, limit_fraction_variance
-from ..api import SimulationSpec, simulate
+from ..api import CampaignSpec, SimulationSpec, SweepSpec, run_campaign
 from ..core.colors import ColorConfiguration
 from ..engine.continuous import ContinuousEngine
 from ..engine.delays import ExponentialDelay
@@ -270,21 +270,26 @@ def experiment_t10_model_equivalence(scale: ExperimentScale) -> ExperimentReport
         continuous = ContinuousEngine(protocol, topology)
         seq_results = run_trials(lambda s: sequential.run(config, seed=s), trials, scale.seed)
         cont_results = run_trials(lambda s: continuous.run(config, seed=s), trials, scale.seed + 1)
-        # The fast path goes through the declarative front door: the
-        # reference engines above are deliberately hand-wired (they ARE
-        # the baselines being compared), while the dispatched leg is
-        # exactly what `simulate` routes for this spec.
-        fast_sim = simulate(
-            SimulationSpec(
-                protocol="two-choices",
-                n=n,
-                model="sequential",
-                initial="two-colors",
-                initial_params={"gap": gap},
-                reps=trials,
-                seed=scale.seed + 2,
-            )
-        )
+        # The fast path goes through the declarative front door as a
+        # singleton campaign: the reference engines above are
+        # deliberately hand-wired (they ARE the baselines being
+        # compared), while the dispatched leg is exactly what
+        # `run_campaign` routes through `simulate` for this spec.
+        fast_sim = run_campaign(
+            CampaignSpec(
+                base=SimulationSpec(
+                    protocol="two-choices",
+                    n=n,
+                    model="sequential",
+                    initial="two-colors",
+                    initial_params={"gap": gap},
+                    reps=trials,
+                ),
+                sweep=SweepSpec(axes={"seed": [scale.seed + 2]}, mode="zip"),
+                name="T10/fast-path",
+            ),
+            executor="serial",
+        ).points[0].result
         fast_results = fast_sim.runs
         seq_times = [r.parallel_time for r in seq_results if r.converged]
         cont_times = [r.parallel_time for r in cont_results if r.converged]

@@ -24,7 +24,7 @@ import numpy as np
 from ..analysis import statistics as stats
 from ..analysis import theory
 from ..analysis.convergence import per_phase_ratio_growth, ratio_trace
-from ..api import SimulationSpec, simulate
+from ..api import CampaignSpec, SimulationSpec, SweepSpec, run_campaign
 from ..protocols.one_extra_bit import default_bp_rounds
 from .harness import ExperimentReport, ExperimentScale, timed
 
@@ -38,8 +38,8 @@ __all__ = [
 ]
 
 
-def _sync_spec(protocol, n, initial, initial_params, trials, seed, max_rounds=1_000_000):
-    """The declarative form of one synchronous-model cell of a sweep."""
+def _sync_base(protocol, n, initial, initial_params, trials, max_rounds=1_000_000):
+    """The campaign base of one synchronous-model sweep (seed left to axes)."""
     return SimulationSpec(
         protocol=protocol,
         n=n,
@@ -47,23 +47,36 @@ def _sync_spec(protocol, n, initial, initial_params, trials, seed, max_rounds=1_
         initial=initial,
         initial_params=dict(initial_params),
         reps=trials,
-        seed=seed,
         max_steps=max_rounds,
     )
 
 
-def _mean_rounds(protocol, n, initial, initial_params, trials, seed, max_rounds=1_000_000):
-    """Mean rounds-to-consensus and plurality-preservation rate.
+def _campaign_grid(base, cells, name):
+    """Run one zipped campaign over explicit per-cell overrides.
 
-    ``simulate`` routes the spec through the dispatcher with
+    Every T-series sweep below is one campaign: *cells* are override
+    dicts (sweep coordinates plus the historical per-cell ``"seed"``),
+    zipped into axes so the expansion order is the cell order.  The
+    serial executor keeps the drivers value-for-value with their
+    pre-campaign form; per-point ``SimulationResult``s come back in
+    cell order.
+    """
+    axes = {key: [cell[key] for cell in cells] for key in cells[0]}
+    campaign = CampaignSpec(base=base, sweep=SweepSpec(axes=axes, mode="zip"), name=name)
+    return [point.result for point in run_campaign(campaign, executor="serial").points]
+
+
+def _stats(sim):
+    """Mean rounds-to-consensus, win rate, counts, and the initial config.
+
+    The campaign routed each cell through ``simulate`` with
     ``n_reps=trials``, so protocols with ensemble round hooks
     (Two-Choices, Voter, 3-Majority, USD) advance all replications per
     numpy batch; the rest (OneExtraBit) fall back to the looped
-    single-run engine.  Also returns the initial configuration the runs
-    actually started from, so theory predictions are computed on the
+    single-run engine.  The initial configuration is taken from the
+    runs themselves, so theory predictions are computed on the
     simulated workload rather than a second hand-built copy.
     """
-    sim = simulate(_sync_spec(protocol, n, initial, initial_params, trials, seed, max_rounds))
     rounds = [r.rounds for r in sim.runs if r.converged]
     preserved = [r.plurality_preserved for r in sim.runs]
     mean = float(np.mean(rounds)) if rounds else float("nan")
@@ -84,22 +97,29 @@ def experiment_t1_two_choices_runtime(scale: ExperimentScale) -> ExperimentRepor
         rows: List[List] = []
         per_log_n = []
         envelope_ratios = []
-        for n in ns:
-            mean, preserved, _, _, config = _mean_rounds(
-                "two-choices", n, "theorem-1-1-gap", {"k": k_fixed, "z": 2.0}, scale.trials, scale.seed + n
-            )
+        n_sweep = _campaign_grid(
+            _sync_base("two-choices", ns[0], "theorem-1-1-gap", {"k": k_fixed, "z": 2.0}, scale.trials),
+            [{"n": n, "seed": scale.seed + n} for n in ns],
+            name="T1/n-sweep",
+        )
+        for n, sim in zip(ns, n_sweep):
+            mean, preserved, _, _, config = _stats(sim)
             predicted = theory.two_choices_rounds(n, config.c1)
             per_log_n.append(mean / math.log(n))
             envelope_ratios.append(mean / predicted)
             rows.append(["n-sweep", n, k_fixed, round(n / config.c1, 2), mean, predicted, mean / predicted, preserved])
 
         n_fixed = scale.scaled(128_000)
+        ks = (2, 4, 8, 16, 32)
         k_rounds = []
         inv_fractions = []
-        for k in (2, 4, 8, 16, 32):
-            mean, preserved, _, _, config = _mean_rounds(
-                "two-choices", n_fixed, "theorem-1-1-gap", {"k": k, "z": 1.0}, scale.trials, scale.seed + k
-            )
+        k_sweep = _campaign_grid(
+            _sync_base("two-choices", n_fixed, "theorem-1-1-gap", {"z": 1.0}, scale.trials),
+            [{"initial_params.k": k, "seed": scale.seed + k} for k in ks],
+            name="T1/k-sweep",
+        )
+        for k, sim in zip(ks, k_sweep):
+            mean, preserved, _, _, config = _stats(sim)
             predicted = theory.two_choices_rounds(n_fixed, config.c1)
             envelope_ratios.append(mean / predicted)
             inv_fractions.append(n_fixed / config.c1)
@@ -142,10 +162,13 @@ def experiment_t2_two_choices_lower_bound(scale: ExperimentScale) -> ExperimentR
         means = []
         inv_fractions = []
         lower_ratios = []
-        for k in ks:
-            mean, preserved, _, _, config = _mean_rounds(
-                "two-choices", n, "theorem-1-1-gap", {"k": k, "z": 1.0}, scale.trials, scale.seed + 13 * k
-            )
+        k_sweep = _campaign_grid(
+            _sync_base("two-choices", n, "theorem-1-1-gap", {"z": 1.0}, scale.trials),
+            [{"initial_params.k": k, "seed": scale.seed + 13 * k} for k in ks],
+            name="T2/k-sweep",
+        )
+        for k, sim in zip(ks, k_sweep):
+            mean, preserved, _, _, config = _stats(sim)
             lower = theory.two_choices_lower_bound(n, config.c1)
             means.append(mean)
             inv_fractions.append(n / config.c1)
@@ -201,10 +224,12 @@ def experiment_t3_bias_threshold(scale: ExperimentScale) -> ExperimentReport:
         ]
         rows = []
         rates = []
-        for label, gap in gaps:
-            sim = simulate(
-                _sync_spec("two-choices", n, "two-colors", {"gap": gap}, trials, scale.seed + gap)
-            )
+        gap_sweep = _campaign_grid(
+            _sync_base("two-choices", n, "two-colors", {}, trials),
+            [{"initial_params.gap": gap, "seed": scale.seed + gap} for _, gap in gaps],
+            name="T3/gap-sweep",
+        )
+        for (label, gap), sim in zip(gaps, gap_sweep):
             outcomes = [r.converged and r.winner == 0 for r in sim.runs]
             estimate = stats.estimate_success(outcomes)
             rates.append(estimate.rate)
@@ -241,14 +266,20 @@ def experiment_t4_one_extra_bit(scale: ExperimentScale) -> ExperimentReport:
         rows = []
         tc_means = []
         oeb_means = []
+        cells = []
         for k in ks:
-            initial_params = {"k": k, "z": 1.0}
-            tc_mean, tc_win, _, _, config = _mean_rounds(
-                "two-choices", n, "theorem-1-1-gap", initial_params, trials, scale.seed + k
+            cells.append({"protocol": "two-choices", "initial_params.k": k, "seed": scale.seed + k})
+            cells.append({"protocol": "one-extra-bit", "initial_params.k": k, "seed": scale.seed + 7 * k})
+        sims = iter(
+            _campaign_grid(
+                _sync_base("two-choices", n, "theorem-1-1-gap", {"z": 1.0}, trials),
+                cells,
+                name="T4/crossover",
             )
-            oeb_mean, oeb_win, _, _, _ = _mean_rounds(
-                "one-extra-bit", n, "theorem-1-1-gap", initial_params, trials, scale.seed + 7 * k
-            )
+        )
+        for k in ks:
+            tc_mean, tc_win, _, _, config = _stats(next(sims))
+            oeb_mean, oeb_win, _, _, _ = _stats(next(sims))
             predicted = theory.one_extra_bit_rounds(n, k, config.c1, config.c2)
             tc_means.append(tc_mean)
             oeb_means.append(oeb_mean)
@@ -285,19 +316,24 @@ def experiment_t5_quadratic_growth(scale: ExperimentScale) -> ExperimentReport:
         k = 16
         ratio0 = 1.2
         phase_length = 1 + default_bp_rounds(n, k)
-        spec = SimulationSpec(
-            protocol="one-extra-bit",
-            n=n,
-            model="synchronous",
-            initial="multiplicative-bias",
-            initial_params={"k": k, "ratio": ratio0},
-            reps=1,
-            seed=scale.seed,
-            max_steps=phase_length * 12,
-            record_trace=True,
-            trace_every=phase_length,
+        # A singleton campaign: traced points are pinned to the driver
+        # process by run_campaign, so the trace survives.
+        campaign = CampaignSpec(
+            base=SimulationSpec(
+                protocol="one-extra-bit",
+                n=n,
+                model="synchronous",
+                initial="multiplicative-bias",
+                initial_params={"k": k, "ratio": ratio0},
+                reps=1,
+                max_steps=phase_length * 12,
+                record_trace=True,
+                trace_every=phase_length,
+            ),
+            sweep=SweepSpec(axes={"seed": [scale.seed]}, mode="zip"),
+            name="T5/quadratic-growth",
         )
-        result = simulate(spec).runs[0]
+        result = run_campaign(campaign, executor="serial").points[0].result.runs[0]
         ratios = ratio_trace(result.trace)
         growth = per_phase_ratio_growth(list(ratios))
         rows = []
@@ -349,6 +385,34 @@ def experiment_t11_protocol_comparison(scale: ExperimentScale) -> ExperimentRepo
             ("undecided-state", "undecided-state", lambda n: 40_000),
             ("one-extra-bit", "one-extra-bit", lambda n: 40_000),
         ]
+        # The whole landscape is one zipped campaign: every non-skipped
+        # (scenario, protocol) cell becomes a point whose overrides pin
+        # the protocol, workload, trial count, budget and the historical
+        # per-cell seed (builtin hash() is salted per process, hence the
+        # ord-sum).  Skipped voter cells never enter the grid.
+        cells = []
+        for scenario_name, initial, initial_params, k, n in scenarios:
+            for proto_name, registry_name, cap in protocols:
+                if proto_name == "voter" and k > 2:
+                    continue
+                cells.append(
+                    {
+                        "protocol": registry_name,
+                        "n": n,
+                        "initial": initial,
+                        "initial_params": dict(initial_params),
+                        "reps": max(2, scale.trials // 2) if proto_name == "voter" else min(3, scale.trials),
+                        "max_steps": cap(n),
+                        "seed": scale.seed + sum(ord(c) for c in scenario_name + proto_name),
+                    }
+                )
+        sims = iter(
+            _campaign_grid(
+                _sync_base("two-choices", scenarios[0][4], "benchmark-split", {}, 1, max_rounds=1),
+                cells,
+                name="T11/landscape",
+            )
+        )
         rows = []
         outcome = {}
         for scenario_name, initial, initial_params, k, n in scenarios:
@@ -358,32 +422,31 @@ def experiment_t11_protocol_comparison(scale: ExperimentScale) -> ExperimentRepo
                     # scenario-A probe documents that wall once.
                     rows.append([scenario_name, proto_name, None, None, "skipped (Theta(n))"])
                     continue
-                trials = max(2, scale.trials // 2) if proto_name == "voter" else min(3, scale.trials)
-                # Stable per-cell seed (builtin hash() is salted per process).
-                cell_seed = scale.seed + sum(ord(c) for c in scenario_name + proto_name)
-                mean, preserved, converged, total, _ = _mean_rounds(
-                    registry_name, n, initial, initial_params, trials, cell_seed, max_rounds=cap(n)
-                )
+                mean, preserved, converged, total, _ = _stats(next(sims))
                 outcome[(scenario_name[:1], proto_name)] = (mean, preserved)
                 rows.append([scenario_name, proto_name, mean, preserved, f"{converged}/{total} converged"])
 
         # Asynchronous landscape probe: the same scenario-A workload in
-        # the sequential tick model; `simulate` routes it through the
-        # engine dispatcher so K_n picks up the ensemble-vectorised
+        # the sequential tick model, as a singleton campaign; the
+        # dispatcher routes it so K_n picks up the ensemble-vectorised
         # counts fast path (all trials advance per numpy batch).
         scenario_name, initial, initial_params, _, n = scenarios[0]
         async_trials = min(3, scale.trials)
-        async_sim = simulate(
-            SimulationSpec(
-                protocol="two-choices",
-                n=n,
-                model="sequential",
-                initial=initial,
-                initial_params=initial_params,
-                reps=async_trials,
-                seed=scale.seed + 11,
-            )
-        )
+        async_sim = run_campaign(
+            CampaignSpec(
+                base=SimulationSpec(
+                    protocol="two-choices",
+                    n=n,
+                    model="sequential",
+                    initial=initial,
+                    initial_params=initial_params,
+                    reps=async_trials,
+                ),
+                sweep=SweepSpec(axes={"seed": [scale.seed + 11]}, mode="zip"),
+                name="T11/async-probe",
+            ),
+            executor="serial",
+        ).points[0].result
         async_results = async_sim.runs
         async_mean = float(np.mean([r.parallel_time for r in async_results if r.converged]))
         async_preserved = float(np.mean([r.converged and r.winner == 0 for r in async_results]))

@@ -5,6 +5,8 @@ Examples::
     python -m repro list
     python -m repro simulate two-choices --n 100000 --reps 8
     python -m repro simulate voter --n 10000 --model synchronous --initial balanced --initial-param k=4
+    python -m repro sweep two-choices --axis n=10000,20000,40000 --reps 8 --seed 7
+    python -m repro sweep two-choices --axis n=10000,20000 --workers 4 --cache-dir .repro-cache --json
     python -m repro run T6
     python -m repro run all --scale full --store results
     python -m repro show T6 --store results
@@ -17,10 +19,22 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import math
 import sys
 from typing import Dict, List, Optional
 
-from .api import DELAYS, INITIALS, PROTOCOLS, STOPS, TOPOLOGIES, SimulationSpec, simulate
+from .api import (
+    DELAYS,
+    INITIALS,
+    PROTOCOLS,
+    STOPS,
+    TOPOLOGIES,
+    CampaignSpec,
+    SimulationSpec,
+    SweepSpec,
+    run_campaign,
+    simulate,
+)
 from .bench import FULL, QUICK, ExperimentScale, ResultStore, experiment_ids, run_experiment
 from .bench.tables import format_table
 from .core.exceptions import ConfigurationError
@@ -58,20 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim_cmd.add_argument("--initial", default="benchmark-split", help="registered initial condition")
     sim_cmd.add_argument("--delay", default=None, help="response-delay model (continuous only)")
     sim_cmd.add_argument("--stop", default="consensus", help="stop criterion")
-    for flag, target in (
-        ("--param", "protocol"),
-        ("--topology-param", "topology"),
-        ("--initial-param", "initial condition"),
-        ("--delay-param", "delay model"),
-        ("--stop-param", "stop criterion"),
-    ):
-        sim_cmd.add_argument(
-            flag,
-            action="append",
-            default=[],
-            metavar="KEY=VALUE",
-            help=f"{target} parameter override (repeatable)",
-        )
+    _add_param_flags(sim_cmd)
     sim_cmd.add_argument("--seed", type=int, default=None, help="master seed (default: OS entropy)")
     sim_cmd.add_argument("--max-steps", type=int, default=None, help="round/tick budget")
     sim_cmd.add_argument("--max-time", type=float, default=None, help="continuous-time budget")
@@ -83,6 +84,66 @@ def build_parser() -> argparse.ArgumentParser:
     sim_cmd.add_argument("--json", action="store_true", help="emit the full result payload as JSON")
     sim_cmd.add_argument(
         "--spec-only", action="store_true", help="print the resolved spec as JSON without running"
+    )
+
+    sweep_cmd = sub.add_parser(
+        "sweep",
+        help="run a campaign: a declarative grid of simulate() specs with executors and a result cache",
+    )
+    sweep_cmd.add_argument("protocol", help="registered protocol name (see 'repro list')")
+    sweep_cmd.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        metavar="FIELD=V1,V2,...",
+        help="sweep axis over a SimulationSpec field ('n=1000,2000') or a params key "
+        "('initial_params.k=2,4,8'); repeatable — axes combine as a cartesian grid "
+        "unless --zip is given",
+    )
+    sweep_cmd.add_argument(
+        "--zip",
+        action="store_true",
+        dest="zip_axes",
+        help="align equal-length axes element-wise instead of taking their product",
+    )
+    sweep_cmd.add_argument("--n", type=int, default=None, help="number of nodes (or sweep an 'n' axis)")
+    sweep_cmd.add_argument("--reps", type=int, default=1, help="independent replications per point")
+    sweep_cmd.add_argument(
+        "--model",
+        choices=["sequential", "continuous", "synchronous"],
+        default="sequential",
+        help="execution model (default: sequential ticks)",
+    )
+    sweep_cmd.add_argument("--topology", default="complete", help="registered topology name")
+    sweep_cmd.add_argument("--initial", default="benchmark-split", help="registered initial condition")
+    sweep_cmd.add_argument("--delay", default=None, help="response-delay model (continuous only)")
+    sweep_cmd.add_argument("--stop", default="consensus", help="stop criterion")
+    _add_param_flags(sweep_cmd)
+    sweep_cmd.add_argument(
+        "--seed", type=int, default=20170725, help="campaign master seed (per-point seeds derive from it)"
+    )
+    sweep_cmd.add_argument("--max-steps", type=int, default=None, help="round/tick budget per point")
+    sweep_cmd.add_argument("--max-time", type=float, default=None, help="continuous-time budget per point")
+    sweep_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (>1 selects the process executor; default: in-process serial)",
+    )
+    sweep_cmd.add_argument("--chunksize", type=int, default=None, help="points per process dispatch")
+    sweep_cmd.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-addressed result cache directory (skip-completed resume, warm replays)",
+    )
+    sweep_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the deterministic campaign payload as JSON on stdout (execution "
+        "stats go to stderr, so equal campaigns emit byte-identical JSON)",
+    )
+    sweep_cmd.add_argument(
+        "--spec-only", action="store_true", help="print the campaign spec as JSON without running"
     )
 
     run_cmd = sub.add_parser("run", help="run one experiment (or 'all')")
@@ -113,6 +174,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_cli_arguments(engines_cmd)
     return parser
+
+
+def _add_param_flags(cmd) -> None:
+    """The five repeatable KEY=VALUE override flags, shared by simulate/sweep."""
+    for flag, target in (
+        ("--param", "protocol"),
+        ("--topology-param", "topology"),
+        ("--initial-param", "initial condition"),
+        ("--delay-param", "delay model"),
+        ("--stop-param", "stop criterion"),
+    ):
+        cmd.add_argument(
+            flag,
+            action="append",
+            default=[],
+            metavar="KEY=VALUE",
+            help=f"{target} parameter override (repeatable)",
+        )
 
 
 def _resolve_scale(args) -> ExperimentScale:
@@ -187,6 +266,114 @@ def _run_simulate(args) -> int:
     return 0
 
 
+def _axis_value(text: str):
+    """Coerce one CLI axis value: int, then float, else string.
+
+    Registry ``ParamSpec`` metadata re-coerces param-dict values at
+    build time, so string passthrough is safe for protocol parameters;
+    numeric spec fields (``n``, ``reps``, seeds, budgets) need the
+    numeric form here.
+    """
+    for kind in (int, float):
+        try:
+            return kind(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_axes(pairs: List[str]) -> Dict[str, list]:
+    """Parse repeated ``--axis FIELD=V1,V2,...`` flags in order."""
+    axes: Dict[str, list] = {}
+    for pair in pairs:
+        field, sep, values = pair.partition("=")
+        if not sep or not field:
+            raise ConfigurationError(f"--axis expects FIELD=V1,V2,..., got {pair!r}")
+        if field in axes:
+            raise ConfigurationError(f"duplicate --axis {field!r}")
+        axes[field] = [_axis_value(v) for v in values.split(",") if v != ""]
+        if not axes[field]:
+            raise ConfigurationError(f"--axis {field!r} has no values")
+    return axes
+
+
+def _campaign_from_args(args) -> CampaignSpec:
+    """Build the :class:`CampaignSpec` the ``sweep`` flags describe."""
+    axes = _parse_axes(args.axis)
+    n = args.n
+    if n is None:
+        n_axis = axes.get("n")
+        if not n_axis:
+            raise ConfigurationError("pass --n or sweep an 'n' axis (--axis n=...)")
+        n = int(n_axis[0])
+    base = SimulationSpec(
+        protocol=args.protocol,
+        n=n,
+        protocol_params=_parse_params(args.param, "--param"),
+        topology=args.topology,
+        topology_params=_parse_params(args.topology_param, "--topology-param"),
+        model=args.model,
+        delay=args.delay,
+        delay_params=_parse_params(args.delay_param, "--delay-param"),
+        initial=args.initial,
+        initial_params=_parse_params(args.initial_param, "--initial-param"),
+        stop=args.stop,
+        stop_params=_parse_params(args.stop_param, "--stop-param"),
+        reps=args.reps,
+        max_steps=args.max_steps,
+        max_time=args.max_time,
+    )
+    return CampaignSpec(
+        base=base,
+        sweep=SweepSpec(axes=axes, mode="zip" if args.zip_axes else "product"),
+        seed=args.seed,
+        name=f"sweep/{args.protocol}",
+    )
+
+
+def _json_safe(value):
+    """Strict-JSON form: NaN/±inf (unconverged-point statistics) -> null."""
+    if isinstance(value, dict):
+        return {key: _json_safe(v) for key, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def _run_sweep(args) -> int:
+    campaign = _campaign_from_args(args)
+    if args.spec_only:
+        print(json.dumps(campaign.to_dict(), indent=2, sort_keys=True))
+        return 0
+    executor = "process" if args.workers > 1 else "serial"
+    result = run_campaign(
+        campaign,
+        executor=executor,
+        cache=args.cache_dir,
+        workers=args.workers,
+        chunksize=args.chunksize,
+    )
+    if args.json:
+        # stdout carries only the deterministic payload (a pure function
+        # of the campaign spec and the simulation values, RFC-8259
+        # strict); execution stats go to stderr so warm replays are
+        # byte-identical.
+        payload = result.to_dict()
+        del payload["execution"]
+        print(json.dumps(_json_safe(payload), indent=2, sort_keys=True))
+        print(
+            f"campaign: {result.size} point(s), executor={result.executor}, "
+            f"engine_runs={result.engine_runs}, cache_hits={result.cache_hits}, "
+            f"elapsed={result.elapsed_seconds:.2f}s",
+            file=sys.stderr,
+        )
+        return 0
+    print(result.format())
+    return 0
+
+
 def _print_registries() -> None:
     print()
     print("protocols (simulate <protocol>):")
@@ -227,6 +414,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "simulate":
         return _run_simulate(args)
+
+    if args.command == "sweep":
+        return _run_sweep(args)
 
     if args.command == "run":
         scale = _resolve_scale(args)

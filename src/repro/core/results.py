@@ -138,6 +138,26 @@ class RunResult:
             "metadata": _jsonify(self.metadata),
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        The round trip is value-exact for everything ``to_dict``
+        carries: the trace stays dropped, ``plurality_preserved`` is a
+        property recomputed from the rebuilt fields (and equals the
+        stored flag by construction), and metadata comes back in its
+        JSON-normalised form — so ``from_dict(p).to_dict() == p``.
+        """
+        return cls(
+            converged=bool(payload["converged"]),
+            winner=None if payload["winner"] is None else int(payload["winner"]),
+            rounds=int(payload["rounds"]),
+            parallel_time=float(payload["parallel_time"]),
+            initial=ColorConfiguration(payload["initial_counts"]),
+            final=ColorConfiguration(payload["final_counts"]),
+            metadata=dict(payload.get("metadata") or {}),
+        )
+
 
 def _jsonify(value):
     """Recursively coerce numpy scalars/arrays into JSON-friendly types."""

@@ -68,6 +68,9 @@ def convergence_time_sweep(
     seed: SeedLike = 20170725,
     initial: str = "benchmark-split",
     initial_params: Optional[Dict] = None,
+    executor: str = "serial",
+    cache=None,
+    workers: Optional[int] = None,
 ) -> Dict[int, list]:
     """Replicated convergence-time sweep over an ``n``-grid on ``K_n``.
 
@@ -79,9 +82,10 @@ def convergence_time_sweep(
     consumes an independent child stream of the master *seed*.
 
     *protocol* may be a registered protocol *name* (the declarative
-    path: each grid point becomes a
-    :class:`~repro.api.spec.SimulationSpec` run through
-    :func:`repro.api.simulate`, with *initial* / *initial_params*
+    path: the whole ``n``-grid becomes one
+    :class:`~repro.api.campaign.CampaignSpec` — an ``n`` axis zipped
+    with explicit per-point seeds — run through
+    :func:`repro.api.run_campaign`, with *initial* / *initial_params*
     naming the initial condition) or a protocol *object* (the original
     PR-2 path, kept as a value-for-value shim: routed through
     :func:`repro.engine.dispatch.fastest_engine` with ``n_reps=reps``
@@ -91,7 +95,14 @@ def convergence_time_sweep(
     derives per-grid-point integer seeds (so its specs stay
     serializable) while the object path spawns ``SeedSequence``
     children, so only the object path replays pre-API sweeps
-    bit-for-bit.
+    bit-for-bit.  The campaign routing is value-for-value with the
+    pre-campaign spec path (asserted in ``tests/test_sweeps.py``).
+
+    *executor*, *cache* and *workers* apply to the spec path only and
+    are forwarded to :func:`repro.api.run_campaign` — ``cache`` gives
+    skip-completed resume across invocations, ``executor="process"``
+    fans grid points over worker processes.  The defaults (serial, no
+    cache) preserve the historical single-process behaviour.
 
     *make_config* maps ``n`` to the initial configuration (default: a
     60/40 two-colour split, the engine benchmark workload); passing it
@@ -110,22 +121,33 @@ def convergence_time_sweep(
         )
 
     if isinstance(protocol, str) and make_config is None:
-        from ..api import SimulationSpec, simulate
+        from ..api import CampaignSpec, SimulationSpec, SweepSpec, run_campaign
         from ..core.rng import spawn_seeds
 
-        out: Dict[int, list] = {}
-        for n, child_seed in zip(ns, spawn_seeds(seed, len(ns))):
-            spec = SimulationSpec(
-                protocol=protocol,
-                n=int(n),
-                model=model,
-                initial=initial,
-                initial_params=dict(initial_params or {}),
-                reps=reps,
-                seed=child_seed,
-            )
-            out[int(n)] = simulate(spec).runs
-        return out
+        if not ns:
+            return {}
+        base = SimulationSpec(
+            protocol=protocol,
+            n=int(ns[0]),
+            model=model,
+            initial=initial,
+            initial_params=dict(initial_params or {}),
+            reps=reps,
+        )
+        # The historical per-grid-point seeds, pinned as an explicit
+        # zipped axis so the campaign reproduces the pre-campaign spec
+        # path value-for-value (seed derivation included).
+        campaign = CampaignSpec(
+            base=base,
+            sweep=SweepSpec(
+                axes={"n": [int(n) for n in ns], "seed": spawn_seeds(seed, len(ns))},
+                mode="zip",
+            ),
+            seed=int(seed) if isinstance(seed, int) else 0,
+            name=f"convergence-time-sweep/{protocol}/{model}",
+        )
+        result = run_campaign(campaign, executor=executor, cache=cache, workers=workers)
+        return {int(point.overrides["n"]): point.result.runs for point in result.points}
 
     from ..engine.dispatch import fastest_engine
     from ..engine.ensemble import run_replicated

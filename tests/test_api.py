@@ -11,6 +11,8 @@ registered protocols on ``K_n``.
 import json
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.api import (
     DELAYS,
@@ -253,6 +255,81 @@ class TestSimulateExactness:
     def test_same_spec_same_values(self):
         spec = self._spec("two-choices", "sequential", reps=3)
         assert _result_payloads(simulate(spec).runs) == _result_payloads(simulate(spec).runs)
+
+
+def _json_hop(spec: SimulationSpec) -> SimulationSpec:
+    """A real serialize/deserialize round trip, not just dict identity."""
+    return SimulationSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+
+
+class TestSpecSurvivesJson:
+    """The campaign cache persists specs as JSON and replays results by
+    content hash, so a spec must not merely round-trip as a dict — it
+    must *simulate identically* after a real ``json.dumps``/``loads``
+    hop.  Asserted across every registered protocol and model."""
+
+    @pytest.mark.parametrize("name,model", _exactness_cases())
+    def test_json_hop_preserves_simulation(self, name, model):
+        spec = TestSimulateExactness()._spec(name, model)
+        hopped = _json_hop(spec)
+        assert hopped == spec
+        assert _result_payloads(simulate(hopped).runs) == _result_payloads(simulate(spec).runs)
+
+    def test_json_hop_preserves_ensemble_simulation(self):
+        spec = TestSimulateExactness()._spec("two-choices", "sequential", reps=4)
+        assert _result_payloads(simulate(_json_hop(spec)).runs) == _result_payloads(
+            simulate(spec).runs
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        protocol=st.sampled_from(["two-choices", "voter", "three-majority"]),
+        n=st.integers(min_value=2, max_value=10**7),
+        model=st.sampled_from(["sequential", "synchronous", "continuous"]),
+        reps=st.integers(min_value=1, max_value=64),
+        seed=st.one_of(st.none(), st.integers(min_value=0, max_value=2**63 - 1)),
+        params=st.dictionaries(
+            st.text(st.characters(codec="ascii", categories=["L", "N"]), min_size=1, max_size=8),
+            st.one_of(
+                st.integers(min_value=-(10**9), max_value=10**9),
+                st.floats(allow_nan=False, allow_infinity=False, width=64),
+                st.booleans(),
+                st.text(max_size=12),
+            ),
+            max_size=4,
+        ),
+        budget=st.one_of(st.none(), st.integers(min_value=1, max_value=10**9)),
+    )
+    def test_to_dict_json_from_dict_is_identity(self, protocol, n, model, reps, seed, params, budget):
+        """Property: any constructible spec survives the JSON hop unchanged
+        (registry validation of the params happens at run time, so the
+        serialization layer must carry arbitrary JSON-able dicts)."""
+        kwargs = {}
+        if budget is not None:
+            if model == "continuous":
+                kwargs["max_time"] = float(budget)
+            else:
+                kwargs["max_steps"] = budget
+        spec = SimulationSpec(
+            protocol=protocol,
+            n=n,
+            model=model,
+            initial="theorem-1-1-gap",
+            initial_params=params,
+            reps=reps,
+            seed=seed,
+            **kwargs,
+        )
+        assert _json_hop(spec) == spec
+
+    def test_result_payload_survives_json_hop(self):
+        """SimulationResult payloads (what the cache stores) round-trip too."""
+        from repro.api import SimulationResult
+
+        spec = TestSimulateExactness()._spec("two-choices", "sequential", reps=3)
+        payload = simulate(spec).to_dict()
+        hopped = SimulationResult.from_dict(json.loads(json.dumps(payload)))
+        assert hopped.to_dict() == payload
 
 
 class TestSimulateSurface:

@@ -143,3 +143,98 @@ class TestMain:
     def test_run_unknown_experiment(self):
         with pytest.raises(Exception):
             main(["run", "T99"])
+
+
+class TestSweepParser:
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep", "two-choices", "--axis", "n=1000,2000"])
+        assert args.command == "sweep"
+        assert args.axis == ["n=1000,2000"]
+        assert args.workers == 1 and args.chunksize is None
+        assert args.cache_dir is None
+        assert args.seed == 20170725
+        assert not args.zip_axes and not args.json
+
+    def test_sweep_repeatable_axes_and_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "two-choices", "--axis", "n=1000,2000", "--axis", "initial_params.k=2,4",
+             "--zip", "--workers", "4", "--chunksize", "2", "--cache-dir", "cache", "--json"]
+        )
+        assert args.axis == ["n=1000,2000", "initial_params.k=2,4"]
+        assert args.zip_axes and args.json
+        assert args.workers == 4 and args.chunksize == 2 and args.cache_dir == "cache"
+
+
+class TestSweepMain:
+    def test_sweep_runs_and_tabulates(self, capsys):
+        assert main(["sweep", "two-choices", "--axis", "n=500,1000",
+                     "--reps", "2", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign sweep/two-choices" in out
+        assert "2 point(s)" in out and "engine runs=2" in out
+        assert "mean_parallel_time" in out
+
+    def test_sweep_axis_values_coerce_numerically(self, capsys):
+        assert main(["sweep", "two-choices", "--axis", "n=500", "--axis", "reps=2,3",
+                     "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "3 point(s)" not in out  # 1 x 2 grid
+        assert "2 point(s)" in out
+
+    def test_sweep_spec_only_does_not_run(self, capsys):
+        assert main(["sweep", "two-choices", "--axis", "n=123456789,987654321",
+                     "--spec-only"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sweep"]["axes"] == {"n": [123456789, 987654321]}
+        assert payload["base"]["seed"] is None  # the campaign owns seeding
+
+    def test_sweep_requires_n_or_n_axis(self):
+        with pytest.raises(Exception, match="--n or sweep an 'n' axis"):
+            main(["sweep", "two-choices", "--axis", "reps=1,2"])
+
+    def test_sweep_rejects_bad_axis_syntax(self):
+        with pytest.raises(Exception, match="FIELD=V1,V2"):
+            main(["sweep", "two-choices", "--axis", "oops"])
+
+    def test_sweep_rejects_duplicate_axes(self):
+        with pytest.raises(Exception, match="duplicate --axis"):
+            main(["sweep", "two-choices", "--axis", "n=10", "--axis", "n=20"])
+
+    def test_sweep_json_is_byte_identical_warm(self, tmp_path, capsys):
+        """The sweep-smoke contract: cold run then warm replay emit
+        byte-identical aggregate JSON on stdout, and the warm replay
+        reports zero engine runs on stderr."""
+        argv = ["sweep", "two-choices", "--axis", "n=500,1000", "--reps", "2",
+                "--seed", "9", "--cache-dir", str(tmp_path), "--json"]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        assert cold.out == warm.out  # byte-identical payload
+        assert "engine_runs=2" in cold.err and "cache_hits=0" in cold.err
+        assert "engine_runs=0" in warm.err and "cache_hits=2" in warm.err
+        payload = json.loads(warm.out)
+        assert "execution" not in payload
+        assert len(payload["rows"]) == 2
+
+    def test_sweep_json_is_strict_even_without_convergence(self, capsys):
+        """Points with zero converged reps have NaN statistics; the JSON
+        boundary must emit null, never the non-strict NaN token."""
+        assert main(["sweep", "two-choices", "--axis", "n=500", "--reps", "2",
+                     "--seed", "1", "--max-steps", "1", "--json"]) == 0
+        out = capsys.readouterr().out
+
+        def reject(constant):  # pragma: no cover - only on regression
+            raise AssertionError(f"non-strict JSON constant {constant!r}")
+
+        payload = json.loads(out, parse_constant=reject)
+        summary = payload["points"][0]["summary"]
+        assert summary["converged"] == 0 and summary["mean_parallel_time"] is None
+
+    def test_sweep_zip_mode(self, capsys):
+        assert main(["sweep", "two-choices", "--initial", "two-colors",
+                     "--axis", "n=500,1000", "--axis", "initial_params.gap=100,200",
+                     "--zip", "--reps", "2", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "2 point(s)" in out
+        assert "initial_params.gap" in out
