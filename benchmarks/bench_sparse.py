@@ -1,0 +1,71 @@
+"""Sparse-topology engine perf benchmark (no experiment id — pure wall clock).
+
+Times the asynchronous engine family on a fixed Two-Choices workload on
+the two sparse topologies the acceptance criteria name (2-D torus,
+random 8-regular), and persists the payload to ``BENCH_sparse.json`` at
+the repo root so the perf trajectory is comparable across PRs.
+
+Usage::
+
+    pytest benchmarks/bench_sparse.py --benchmark-only              # quick
+    REPRO_BENCH_SCALE=full pytest benchmarks/bench_sparse.py --benchmark-only
+    python benchmarks/bench_sparse.py [--quick] [--out PATH]
+
+The ``full`` pytest scale (and the script without ``--quick``) covers
+``n in {1e4, 1e5}``; quick runs stop at ``1e4``.  The headline
+criterion — the sparse-sequential engine at least 10x faster than the
+per-tick ``SequentialEngine`` on torus and random-regular — is asserted
+at whichever scale ran.
+"""
+
+import os
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).parent.parent
+OUT_PATH = ROOT / "BENCH_sparse.json"
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # direct script invocation without PYTHONPATH=src
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.bench.perf_sparse import (  # noqa: E402
+    DEFAULT_NS,
+    QUICK_NS,
+    benchmark_sparse,
+    format_payload,
+    save_payload,
+)
+
+
+def test_sparse_engine_perf(benchmark):
+    """Pytest-benchmark target: one sweep at the selected scale."""
+    full = os.environ.get("REPRO_BENCH_SCALE") == "full"
+    payload = benchmark.pedantic(
+        benchmark_sparse,
+        kwargs={
+            "ns": list(DEFAULT_NS if full else QUICK_NS),
+            "trials": 3 if full else 2,
+            "per_tick_max_n": 100_000,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_payload(payload))
+    save_payload(payload, str(OUT_PATH))
+    criteria = payload["criteria"]
+    for slug in ("torus", "random_regular"):
+        assert criteria[f"sparse_seq_ge_10x_vs_per_tick_{slug}"], criteria
+        assert criteria[f"consensus_faster_than_zip_apply_{slug}"], criteria
+    assert criteria["consensus_random_regular_converged"], payload["consensus"]
+
+
+if __name__ == "__main__":
+    from repro.bench import perf_sparse
+
+    argv = sys.argv[1:]
+    if "--out" not in argv:
+        argv += ["--out", str(OUT_PATH)]
+    raise SystemExit(perf_sparse.main(argv))

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.bench import format_table
 from repro.core.colors import ColorConfiguration
-from repro.engine import SynchronousEngine
+from repro.engine import SynchronousEngine, fastest_engine
 from repro.graphs import (
     CompleteGraph,
     barabasi_albert,
@@ -29,7 +29,7 @@ from repro.graphs import (
     torus,
     watts_strogatz,
 )
-from repro.protocols import TwoChoicesSynchronous
+from repro.protocols import TwoChoicesSequential, TwoChoicesSynchronous
 from repro.viz import hbar_chart
 
 
@@ -74,6 +74,22 @@ def main() -> int:
     print(hbar_chart(labels, values))
     print()
     print("expanders track the clique; the ring pays its Theta(n) mixing time.")
+
+    # --- the asynchronous model on the torus ---------------------------------
+    # fastest_engine routes off-K_n tick runs to the hazard-batched
+    # SparseSequentialEngine automatically (DESIGN.md section 2.6).
+    torus_grid = torus(side, side)
+    actual_n = torus_grid.n
+    engine = fastest_engine(TwoChoicesSequential(), torus_grid, model="sequential")
+    scaled = ColorConfiguration([int(0.7 * actual_n), actual_n - int(0.7 * actual_n)])
+    result = engine.run(scaled, seed=1, max_ticks=5_000 * actual_n)
+    status = "consensus" if result.converged else "no consensus (budget hit)"
+    print()
+    print(
+        f"asynchronous Two-Choices on the torus via {type(engine).__name__}: "
+        f"{status} after parallel time {result.parallel_time:.0f} "
+        f"({result.rounds} ticks)"
+    )
     return 0
 
 

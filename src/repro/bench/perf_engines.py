@@ -73,12 +73,12 @@ _BASELINE = "sequential/per-tick"
 class _SeedPathTwoChoices(TwoChoicesSequential):
     """Two-Choices with the vectorised batch hook disabled.
 
-    Restoring the base-class ``seq_tick_batch`` makes the engines fall
-    back to one Python ``seq_tick`` per node — byte-for-byte the seed
-    implementation's work loop — giving the speedup baseline.
+    Pinning ``seq_tick_batch`` to the reference loop makes the engines
+    fall back to one Python ``seq_tick`` per node — byte-for-byte the
+    seed implementation's work loop — giving the speedup baseline.
     """
 
-    seq_tick_batch = SequentialProtocol.seq_tick_batch
+    seq_tick_batch = SequentialProtocol.seq_tick_batch_loop
 
 
 def _engine_specs():

@@ -12,6 +12,7 @@ Examples::
     python -m repro show T6 --store results
     python -m repro schedule 100000
     python -m repro engines --quick --out BENCH_engines.json
+    python -m repro sparse --quick --out BENCH_sparse.json
 """
 
 from __future__ import annotations
@@ -173,6 +174,14 @@ def build_parser() -> argparse.ArgumentParser:
     from .bench.perf_engines import add_cli_arguments
 
     add_cli_arguments(engines_cmd)
+
+    sparse_cmd = sub.add_parser(
+        "sparse",
+        help="benchmark the sparse-topology hazard-batched engines on torus and random-regular",
+    )
+    from .bench.perf_sparse import add_cli_arguments as add_sparse_cli_arguments
+
+    add_sparse_cli_arguments(sparse_cmd)
     return parser
 
 
@@ -454,6 +463,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .bench.perf_engines import run_cli
 
         return run_cli(args, parser.error)
+
+    if args.command == "sparse":
+        from .bench.perf_sparse import run_cli as run_sparse_cli
+
+        return run_sparse_cli(args, parser.error)
 
     if args.command == "schedule":
         schedule = PhaseSchedule.compile(args.n, sync_enabled=not args.no_sync)

@@ -20,6 +20,7 @@ from .ensemble import (
 )
 from .events import EventQueue
 from .sequential import SequentialEngine
+from .sparse_async import SparseContinuousEngine, SparseSequentialEngine
 from .synchronous import SynchronousEngine
 
 __all__ = [
@@ -42,6 +43,8 @@ __all__ = [
     "run_replicated",
     "EventQueue",
     "SequentialEngine",
+    "SparseContinuousEngine",
+    "SparseSequentialEngine",
     "SynchronousEngine",
     "fastest_engine",
 ]

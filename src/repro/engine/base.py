@@ -13,11 +13,12 @@ from typing import Callable, Optional
 import numpy as np
 
 from ..api.registry import ParamSpec, register_stop
-from ..core.colors import ColorConfiguration
+from ..core.colors import ColorConfiguration, assignment_from_counts
 from ..core.exceptions import ConfigurationError
 from ..core.results import RunResult, Trace
 
 __all__ = [
+    "materialize_initial",
     "StopCondition",
     "consensus_reached",
     "near_consensus",
@@ -27,6 +28,24 @@ __all__ = [
 
 #: A stop condition maps a colour-counts vector to "stop now?".
 StopCondition = Callable[[np.ndarray], bool]
+
+
+def materialize_initial(initial, rng: np.random.Generator):
+    """Colour array + colour count for an engine's *initial* argument.
+
+    A :class:`~repro.core.colors.ColorConfiguration` becomes a uniformly
+    random node assignment with its counts (one RNG shuffle); an
+    explicit colour array is validated and passed through with ``k``
+    inferred from its largest label.  Shared by every agent-level
+    engine so the two accepted initial-state forms cannot drift apart.
+    """
+    if isinstance(initial, ColorConfiguration):
+        colors = assignment_from_counts(initial, rng=rng)
+        return colors, initial.k
+    colors = np.asarray(initial, dtype=np.int64)
+    if colors.ndim != 1 or colors.size == 0:
+        raise ConfigurationError("explicit colour arrays must be non-empty and 1-D")
+    return colors, int(colors.max()) + 1
 
 
 def consensus_reached(counts: np.ndarray) -> bool:

@@ -25,13 +25,13 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from ..core.colors import ColorConfiguration, assignment_from_counts
+from ..core.colors import ColorConfiguration
 from ..core.exceptions import ConfigurationError
 from ..core.results import RunResult, Trace
 from ..core.rng import SeedLike, as_generator
 from ..graphs.topology import Topology
 from ..protocols.base import SequentialProtocol
-from .base import StopCondition, build_result, consensus_reached
+from .base import StopCondition, build_result, consensus_reached, materialize_initial
 from .delays import DelayModel, NoDelay
 from .events import EventQueue
 
@@ -72,7 +72,7 @@ class ContinuousEngine:
         processed tick events.
         """
         rng = as_generator(seed)
-        colors, k = self._materialize(initial, rng)
+        colors, k = materialize_initial(initial, rng)
         n = colors.size
         if n != self.topology.n:
             raise ConfigurationError(
@@ -244,12 +244,3 @@ class ContinuousEngine:
             trace=trace,
             metadata={"engine": "continuous", "protocol": protocol.name, "delay": repr(self.delay_model)},
         )
-
-    def _materialize(self, initial, rng: np.random.Generator):
-        if isinstance(initial, ColorConfiguration):
-            colors = assignment_from_counts(initial, rng=rng)
-            return colors, initial.k
-        colors = np.asarray(initial, dtype=np.int64)
-        if colors.ndim != 1 or colors.size == 0:
-            raise ConfigurationError("explicit colour arrays must be non-empty and 1-D")
-        return colors, int(colors.max()) + 1

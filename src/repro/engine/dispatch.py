@@ -13,12 +13,14 @@ model               on ``K_n``               elsewhere / with delays
 ``"synchronous"``   CountsEngine (counts     SynchronousEngine
                     protocols) else
                     SynchronousEngine
-``"sequential"``    CountsSequentialEngine   SequentialEngine
-                    when the protocol has a
-                    counts-level tick law
-``"continuous"``    CountsContinuousEngine   ContinuousEngine (always used
-                    when zero-delay and a    when a delay model is given)
-                    counts-level tick law
+``"sequential"``    CountsSequentialEngine   SparseSequentialEngine when the
+                    when the protocol has a  protocol declares a tick
+                    counts-level tick law    footprint, else SequentialEngine
+``"continuous"``    CountsContinuousEngine   zero-delay: SparseContinuous-
+                    when zero-delay and a    Engine when a tick footprint is
+                    counts-level tick law    declared, else ContinuousEngine;
+                                             a real delay model always forces
+                                             ContinuousEngine
 ==================  =======================  ===============================
 
 When *n_reps* asks for more than one replication, the counts-level
@@ -57,6 +59,7 @@ from .ensemble import (
     EnsembleCountsSequentialEngine,
 )
 from .sequential import SequentialEngine
+from .sparse_async import SparseContinuousEngine, SparseSequentialEngine
 from .synchronous import SynchronousEngine
 
 __all__ = ["fastest_engine"]
@@ -150,6 +153,15 @@ def fastest_engine(
         companion = protocol.as_sequential_counts()
         if companion is not None:
             return counts_engine_cls(companion)
+
+    footprint = protocol.tick_footprint
+    if zero_delay and not on_complete and footprint is not None and footprint.writes_self_only:
+        # Off K_n with presampleable self-writing ticks: the hazard-
+        # batched engines (law-exact, see repro.engine.sparse_async).
+        # They have no ensemble form; run_replicated loops them.
+        if model == "continuous":
+            return SparseContinuousEngine(protocol, topology)
+        return SparseSequentialEngine(protocol, topology)
 
     if model == "continuous":
         return ContinuousEngine(protocol, topology, delay_model=delay_model)

@@ -18,13 +18,13 @@ from typing import Optional, Union
 
 import numpy as np
 
-from ..core.colors import ColorConfiguration, assignment_from_counts
+from ..core.colors import ColorConfiguration
 from ..core.exceptions import ConfigurationError
 from ..core.results import RunResult, Trace
 from ..core.rng import SeedLike, as_generator
 from ..graphs.topology import Topology
 from ..protocols.base import SequentialProtocol
-from .base import StopCondition, build_result, consensus_reached
+from .base import StopCondition, build_result, consensus_reached, materialize_initial
 
 __all__ = ["SequentialEngine"]
 
@@ -69,7 +69,7 @@ class SequentialEngine:
             maintained incrementally so checks are O(k).
         """
         rng = as_generator(seed)
-        colors, k = self._materialize(initial, rng)
+        colors, k = materialize_initial(initial, rng)
         n = colors.size
         if n != self.topology.n:
             raise ConfigurationError(
@@ -131,12 +131,3 @@ class SequentialEngine:
             trace=trace,
             metadata={"engine": "sequential", "protocol": protocol.name},
         )
-
-    def _materialize(self, initial, rng: np.random.Generator):
-        if isinstance(initial, ColorConfiguration):
-            colors = assignment_from_counts(initial, rng=rng)
-            return colors, initial.k
-        colors = np.asarray(initial, dtype=np.int64)
-        if colors.ndim != 1 or colors.size == 0:
-            raise ConfigurationError("explicit colour arrays must be non-empty and 1-D")
-        return colors, int(colors.max()) + 1

@@ -13,13 +13,13 @@ from typing import Optional, Union
 
 import numpy as np
 
-from ..core.colors import ColorConfiguration, assignment_from_counts
+from ..core.colors import ColorConfiguration
 from ..core.exceptions import ConfigurationError
 from ..core.results import RunResult, Trace
 from ..core.rng import SeedLike, as_generator, split
 from ..graphs.topology import Topology
 from ..protocols.base import SynchronousProtocol
-from .base import StopCondition, build_result, consensus_reached
+from .base import StopCondition, build_result, consensus_reached, materialize_initial
 
 __all__ = ["SynchronousEngine"]
 
@@ -70,7 +70,7 @@ class SynchronousEngine:
         if max_rounds < 0:
             raise ConfigurationError(f"max_rounds must be non-negative, got {max_rounds}")
         rng = as_generator(seed)
-        colors, k = self._materialize(initial, rng)
+        colors, k = materialize_initial(initial, rng)
         if colors.size != self.topology.n:
             raise ConfigurationError(
                 f"initial configuration has {colors.size} nodes but topology has {self.topology.n}"
@@ -105,12 +105,3 @@ class SynchronousEngine:
             trace=trace,
             metadata={"engine": "synchronous", "protocol": self.protocol.name},
         )
-
-    def _materialize(self, initial, rng: np.random.Generator):
-        if isinstance(initial, ColorConfiguration):
-            colors = assignment_from_counts(initial, rng=rng)
-            return colors, initial.k
-        colors = np.asarray(initial, dtype=np.int64)
-        if colors.ndim != 1 or colors.size == 0:
-            raise ConfigurationError("explicit colour arrays must be non-empty and 1-D")
-        return colors, int(colors.max()) + 1

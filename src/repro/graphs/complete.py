@@ -44,9 +44,9 @@ class CompleteGraph(Topology):
         draws = rng.integers(0, self.n - 1, size=nodes.shape)
         return np.where(draws >= nodes, draws + 1, draws).astype(np.int64)
 
-    def sample_neighbor_pairs(self, nodes: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    def sample_neighbors_block(self, nodes: np.ndarray, count: int, rng: np.random.Generator) -> np.ndarray:
         nodes = np.asarray(nodes, dtype=np.int64)
-        draws = rng.integers(0, self.n - 1, size=(nodes.size, 2))
+        draws = rng.integers(0, self.n - 1, size=(nodes.size, count))
         shifted = np.where(draws >= nodes[:, None], draws + 1, draws)
         return shifted.astype(np.int64)
 

@@ -2,11 +2,19 @@
 
 networkx is an optional dependency; importing this module without it
 raises a clear error only when the adapter is actually used.
+
+Imported graphs are converted to CSR form
+(:class:`~repro.graphs.sparse.AdjacencyTopology`) **once, at
+construction**: the edge list is pulled out of networkx in one pass and
+sorted into offset/flat arrays with numpy (no per-node Python loop), so
+converted graphs inherit the vectorised ``sample_neighbors_many`` /
+``sample_neighbors_block`` gathers — and with them the hazard-batched
+tick engines — instead of the base-class per-node sampling fallback.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+import numpy as np
 
 from ..core.exceptions import TopologyError
 from .sparse import AdjacencyTopology
@@ -22,13 +30,35 @@ def from_networkx(graph) -> AdjacencyTopology:
     with isolated nodes are rejected.
     """
     try:
-        import networkx as nx
+        import networkx as nx  # noqa: F401
     except ImportError as exc:  # pragma: no cover - depends on environment
         raise TopologyError("networkx is not installed; `pip install repro[graphs]`") from exc
 
     if graph.is_directed():
         raise TopologyError("only undirected graphs are supported")
-    nodes = list(graph.nodes())
-    index = {label: i for i, label in enumerate(nodes)}
-    adjacency = [[index[v] for v in graph.neighbors(u)] for u in nodes]
-    return AdjacencyTopology(adjacency)
+    index = {label: i for i, label in enumerate(graph.nodes())}
+    n = len(index)
+    if n < 2:
+        raise TopologyError(f"need at least 2 nodes, got {n}")
+    if graph.is_multigraph():
+        # Parallel edges collapse under neighbour iteration; keep the
+        # simple per-node path for this rare case.
+        adjacency = [[index[v] for v in graph.neighbors(u)] for u in graph.nodes()]
+        return AdjacencyTopology(adjacency)
+    edges = np.array(
+        [(index[u], index[v]) for u, v in graph.edges()], dtype=np.int64
+    ).reshape(-1, 2)
+    # Undirected: every edge contributes both directions; a self-loop
+    # contributes a single adjacency entry (matching nx neighbour
+    # iteration, which yields the node once).
+    proper = edges[edges[:, 0] != edges[:, 1]]
+    heads = np.concatenate([edges[:, 0], proper[:, 1]])
+    tails = np.concatenate([edges[:, 1], proper[:, 0]])
+    degrees = np.bincount(heads, minlength=n)
+    if (degrees == 0).any():
+        bad = int(np.argmax(degrees == 0))
+        raise TopologyError(f"node {bad} is isolated; sampling protocols need degree >= 1")
+    order = np.argsort(heads, kind="stable")
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degrees, out=offsets[1:])
+    return AdjacencyTopology.from_csr(offsets, tails[order])

@@ -51,6 +51,7 @@ class AdjacencyTopology(Topology):
             flat[self._offsets[u]:self._offsets[u + 1]] = row
         self._flat = flat
         self._degrees = degrees
+        self._uniform_degree = int(degrees[0]) if (degrees == degrees[0]).all() else None
 
     def degree(self, node: int) -> int:
         self._check_node(node)
@@ -77,6 +78,52 @@ class AdjacencyTopology(Topology):
         degs = self._degrees[nodes]
         picks = (rng.random(nodes.shape) * degs).astype(np.int64)
         return self._flat[self._offsets[nodes] + picks]
+
+    def sample_neighbors_block(self, nodes: np.ndarray, count: int, rng: np.random.Generator) -> np.ndarray:
+        # One uniform draw per (tick, sample) slot, one CSR gather: the
+        # presampling primitive of the hazard-batched tick paths.  On
+        # regular graphs (ring, torus, hypercube, random-regular) the
+        # row offsets are arithmetic, so the bounded-integer draw skips
+        # the float scaling and the offsets gather entirely.
+        nodes = np.asarray(nodes, dtype=np.int64)
+        degree = self._uniform_degree
+        if degree is not None:
+            picks = rng.integers(0, degree, size=(nodes.size, count))
+            return self._flat[nodes[:, None] * degree + picks]
+        degs = self._degrees[nodes]
+        picks = (rng.random((nodes.size, count)) * degs[:, None]).astype(np.int64)
+        return self._flat[self._offsets[nodes][:, None] + picks]
+
+    @classmethod
+    def from_csr(cls, offsets: np.ndarray, flat: np.ndarray) -> "AdjacencyTopology":
+        """Wrap prebuilt CSR arrays (``offsets: int64[n + 1]``, ``flat``)
+        without the per-node Python construction loop of ``__init__`` —
+        the constructor for vectorised importers (networkx adapter,
+        generated families).  Validates the same invariants: at least
+        two nodes, every degree >= 1, neighbours in ``0..n-1``.
+        """
+        offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        flat = np.ascontiguousarray(flat, dtype=np.int64)
+        if offsets.ndim != 1 or offsets.size < 3:
+            raise TopologyError(f"need at least 2 nodes, got {max(offsets.size - 1, 0)}")
+        n = offsets.size - 1
+        if offsets[0] != 0 or offsets[-1] != flat.size:
+            raise TopologyError("offsets must start at 0 and end at len(flat)")
+        degrees = np.diff(offsets)
+        if (degrees < 0).any():
+            raise TopologyError("offsets must be non-decreasing")
+        if (degrees == 0).any():
+            bad = int(np.argmax(degrees == 0))
+            raise TopologyError(f"node {bad} is isolated; sampling protocols need degree >= 1")
+        if flat.size and (flat.min() < 0 or flat.max() >= n):
+            raise TopologyError(f"neighbour index outside 0..{n - 1}")
+        topology = cls.__new__(cls)
+        topology.n = n
+        topology._offsets = offsets
+        topology._flat = flat
+        topology._degrees = degrees
+        topology._uniform_degree = int(degrees[0]) if (degrees == degrees[0]).all() else None
+        return topology
 
 
 def ring(n: int) -> AdjacencyTopology:

@@ -56,9 +56,19 @@ class Topology(ABC):
 
     def sample_neighbor_pairs(self, nodes: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """Two i.i.d. uniform neighbours for each entry of *nodes*, shape ``(len, 2)``."""
-        first = self.sample_neighbors_many(nodes, rng)
-        second = self.sample_neighbors_many(nodes, rng)
-        return np.stack([first, second], axis=1)
+        return self.sample_neighbors_block(nodes, 2, rng)
+
+    def sample_neighbors_block(self, nodes: np.ndarray, count: int, rng: np.random.Generator) -> np.ndarray:
+        """*count* i.i.d. uniform neighbours per entry of *nodes*, shape ``(len, count)``.
+
+        The presampling hook of the hazard-batched tick paths: one call
+        yields the full ``(B, samples)`` target-identity matrix of a
+        tick block.  The default draws column by column through
+        :meth:`sample_neighbors_many`; ``CompleteGraph`` and
+        ``AdjacencyTopology`` override it with a single block draw.
+        """
+        columns = [self.sample_neighbors_many(nodes, rng) for _ in range(count)]
+        return np.stack(columns, axis=1)
 
     # ------------------------------------------------------------------
     # shared validation helpers

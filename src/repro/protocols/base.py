@@ -45,12 +45,14 @@ one protocol instance can drive many concurrent runs.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import Any, Optional
 
 import numpy as np
 
 from ..core.colors import ColorConfiguration
 from ..core.exceptions import ProtocolError
+from ..core.hazard import apply_hazard_free
 from ..core.state import NodeArrayState
 from ..graphs.topology import Topology
 
@@ -60,9 +62,41 @@ __all__ = [
     "SequentialProtocol",
     "SequentialCountsProtocol",
     "EnsembleCountsProtocol",
+    "TickFootprint",
     "self_excluded_sample_probabilities",
     "self_excluded_sample_probabilities_ensemble",
 ]
+
+
+@dataclass(frozen=True)
+class TickFootprint:
+    """Declared read/write footprint of one sequential tick.
+
+    Declaring a footprint on a :class:`SequentialProtocol` asserts the
+    contract the hazard-batched fast paths rely on (see
+    :mod:`repro.core.hazard` and :mod:`repro.engine.sparse_async`):
+
+    * :meth:`~SequentialProtocol.tick_targets` draws exactly *samples*
+      i.i.d. uniform neighbours of the acting node — the identities are
+      state-independent, so they may be presampled for a whole block
+      through one vectorised topology call;
+    * the tick *writes* nothing but the acting node
+      (``writes_self_only``; protocols that push state into their
+      targets must leave it False, which keeps them on the per-tick
+      loop);
+    * the tick may *read* the acting node's own colour plus the
+      observed target colours, and nothing else (``reads_own`` is
+      informational — the hazard check always counts the acting node as
+      read, so a False value never weakens it).
+
+    Protocols whose sampling is state-dependent (phase schedules,
+    lossy observation channels, ...) leave the footprint ``None`` and
+    keep the loop semantics of :meth:`~SequentialProtocol.seq_tick`.
+    """
+
+    samples: int
+    writes_self_only: bool = True
+    reads_own: bool = True
 
 
 class SynchronousProtocol(ABC):
@@ -187,6 +221,11 @@ class SequentialProtocol(ABC):
 
     name: str = "sequential-protocol"
 
+    #: declared per-tick read/write footprint, or ``None`` when the
+    #: tick's sampling or write pattern cannot be summarised (the batch
+    #: fast paths then fall back to :meth:`seq_tick_batch_loop`).
+    tick_footprint: Optional[TickFootprint] = None
+
     def make_state(self, colors: np.ndarray, k: int) -> NodeArrayState:
         """Build the state object this protocol operates on."""
         return NodeArrayState(colors=np.asarray(colors, dtype=np.int64), k=k)
@@ -205,17 +244,77 @@ class SequentialProtocol(ABC):
         observed = state.colors[targets] if len(targets) else np.empty(0, dtype=np.int64)
         self.tick_apply(state, node, observed)
 
+    def tick_values(
+        self, state: NodeArrayState, own: np.ndarray, observed: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Vectorised value rule: the post-tick colour of every actor.
+
+        *own* is ``int64[B]`` (the acting nodes' current colours),
+        *observed* the ``(B, samples)`` matrix of their targets'
+        colours; the result row ``t`` must equal the colour tick ``t``
+        would leave its actor with — including "keeps its colour",
+        expressed as ``own[t]`` — when :meth:`tick_apply` runs on the
+        same observations.  The rule must be **pure**: no state
+        mutation, no RNG (randomised updates cannot use this hook).
+        The hazard-batched paths use it to evaluate whole blocks
+        optimistically and to detect actual writes (``values != own``);
+        returning ``None`` (the default) routes them through the
+        conservative :meth:`tick_apply_batch` instead.
+        """
+        return None
+
+    def tick_apply_batch(self, state: NodeArrayState, nodes: np.ndarray, observed: np.ndarray) -> None:
+        """Apply one tick per row of *nodes* / *observed* at once.
+
+        Only called on *hazard-free* blocks (no row reads or writes a
+        node another row actually writes — see
+        :mod:`repro.core.hazard`), so all reads may come from the
+        current state and all writes may be scattered in one pass; the
+        result must be bit-identical to looping :meth:`tick_apply` row
+        by row.  *observed* is the ``(B, samples)`` matrix of the
+        targets' colours at apply time.  The default applies the
+        :meth:`tick_values` rule when the protocol has one and loops
+        over :meth:`tick_apply` otherwise.
+        """
+        own = state.colors[nodes]
+        values = self.tick_values(state, own, observed)
+        if values is None:
+            for i in range(nodes.shape[0]):
+                self.tick_apply(state, int(nodes[i]), observed[i])
+            return
+        changed = values != own
+        state.colors[nodes[changed]] = values[changed]
+
     def seq_tick_batch(self, state: NodeArrayState, nodes: np.ndarray, topology: Topology, rng: np.random.Generator) -> None:
         """Apply one instantaneous tick per entry of *nodes*, in order.
 
         Equal in law to calling :meth:`seq_tick` once per node: target
-        *identities* are state-independent, so subclasses may presample
-        every tick's targets through one vectorised topology call and
-        then apply the ticks sequentially, reading each target's colour
-        at apply time (the read must see writes from earlier ticks in
-        the same batch).  The default implementation just loops; the
-        overrides remove the per-tick RNG and dispatch overhead, which
-        dominates the asynchronous engines' run time in Python.
+        *identities* are state-independent, so every tick's targets are
+        presampled through one vectorised topology call and the block
+        is applied as hazard-free chunks — bit-identical to the
+        sequential loop on the same draws, because each tick's colour
+        reads still see all earlier ticks' writes (see
+        :mod:`repro.core.hazard`).  Protocols without a declared
+        :class:`TickFootprint` fall back to
+        :meth:`seq_tick_batch_loop`, one Python tick per node.
+        """
+        footprint = self.tick_footprint
+        if footprint is None or not footprint.writes_self_only:
+            self.seq_tick_batch_loop(state, nodes, topology, rng)
+            return
+        nodes = np.asarray(nodes, dtype=np.int64)
+        targets = topology.sample_neighbors_block(nodes, footprint.samples, rng)
+        apply_hazard_free(self, state, nodes, targets)
+
+    def seq_tick_batch_loop(self, state: NodeArrayState, nodes: np.ndarray, topology: Topology, rng: np.random.Generator) -> None:
+        """One Python :meth:`seq_tick` per node — the reference loop.
+
+        The historical (seed) implementation of :meth:`seq_tick_batch`;
+        kept as the fallback for footprint-less protocols, as the
+        correctness oracle the batch-path tests pin against, and as the
+        baseline the speedup benchmarks measure from.  Note the RNG
+        *stream* differs from the batch path (per-tick draws here, one
+        block draw there), so the two paths agree in law, not values.
         """
         for node in nodes:
             self.seq_tick(state, int(node), topology, rng)

@@ -28,6 +28,7 @@ from .base import (
     SequentialCountsProtocol,
     SequentialProtocol,
     SynchronousProtocol,
+    TickFootprint,
     self_excluded_sample_probabilities,
     self_excluded_sample_probabilities_ensemble,
 )
@@ -138,6 +139,9 @@ class ThreeMajoritySequential(SequentialProtocol):
     """Tick-based 3-Majority for the asynchronous engines."""
 
     name = "three-majority/seq"
+    # Three state-independent uniform samples; always adopts one of
+    # them, so the actor's own colour is never read.
+    tick_footprint = TickFootprint(samples=3, reads_own=False)
 
     def tick_targets(self, state: NodeArrayState, node: int, topology: Topology, rng: np.random.Generator) -> np.ndarray:
         return topology.sample_neighbors(node, 3, rng)
@@ -151,21 +155,8 @@ class ThreeMajoritySequential(SequentialProtocol):
         else:
             state.colors[node] = a
 
-    def seq_tick_batch(self, state: NodeArrayState, nodes: np.ndarray, topology: Topology, rng: np.random.Generator) -> None:
-        # Presample all three target identities per tick in vectorised
-        # calls; colours are read at apply time.
-        nodes = np.asarray(nodes, dtype=np.int64)
-        first = topology.sample_neighbors_many(nodes, rng)
-        second = topology.sample_neighbors_many(nodes, rng)
-        third = topology.sample_neighbors_many(nodes, rng)
-        colors = state.colors
-        for node, u, v, w in zip(nodes.tolist(), first.tolist(), second.tolist(), third.tolist()):
-            a = colors[u]
-            b = colors[v]
-            if b == colors[w] and a != b:
-                colors[node] = b
-            else:
-                colors[node] = a
+    def tick_values(self, state: NodeArrayState, own: np.ndarray, observed: np.ndarray) -> np.ndarray:
+        return _majority_of_three(observed[:, 0], observed[:, 1], observed[:, 2])
 
     def as_sequential_counts(self) -> "ThreeMajoritySequentialCounts":
         return ThreeMajoritySequentialCounts()

@@ -39,6 +39,7 @@ from .base import (
     SequentialCountsProtocol,
     SequentialProtocol,
     SynchronousProtocol,
+    TickFootprint,
     self_excluded_sample_probabilities,
     self_excluded_sample_probabilities_ensemble,
 )
@@ -156,6 +157,9 @@ class TwoChoicesSequential(SequentialProtocol):
     """Tick-based Two-Choices for the asynchronous engines."""
 
     name = "two-choices/seq"
+    # Two state-independent uniform samples; writes only the acting
+    # node; the decision never reads the actor's own colour.
+    tick_footprint = TickFootprint(samples=2, reads_own=False)
 
     def tick_targets(self, state: NodeArrayState, node: int, topology: Topology, rng: np.random.Generator) -> np.ndarray:
         return topology.sample_neighbors(node, 2, rng)
@@ -164,17 +168,9 @@ class TwoChoicesSequential(SequentialProtocol):
         if len(observed_colors) == 2 and observed_colors[0] == observed_colors[1]:
             state.colors[node] = observed_colors[0]
 
-    def seq_tick_batch(self, state: NodeArrayState, nodes: np.ndarray, topology: Topology, rng: np.random.Generator) -> None:
-        # Presample both targets of every tick in one vectorised call
-        # (target identities are state-independent); colours are read at
-        # apply time so each tick sees earlier ticks' writes.
-        nodes = np.asarray(nodes, dtype=np.int64)
-        pairs = topology.sample_neighbor_pairs(nodes, rng)
-        colors = state.colors
-        for node, first, second in zip(nodes.tolist(), pairs[:, 0].tolist(), pairs[:, 1].tolist()):
-            seen = colors[first]
-            if seen == colors[second]:
-                colors[node] = seen
+    def tick_values(self, state: NodeArrayState, own: np.ndarray, observed: np.ndarray) -> np.ndarray:
+        first = observed[:, 0]
+        return np.where(first == observed[:, 1], first, own)
 
     def as_sequential_counts(self) -> "TwoChoicesSequentialCounts":
         return TwoChoicesSequentialCounts()

@@ -35,6 +35,7 @@ from .base import (
     SequentialCountsProtocol,
     SequentialProtocol,
     SynchronousProtocol,
+    TickFootprint,
     self_excluded_sample_probabilities,
     self_excluded_sample_probabilities_ensemble,
 )
@@ -177,6 +178,9 @@ class UndecidedStateSequential(SequentialProtocol):
     """Tick-based USD for the asynchronous engines."""
 
     name = "undecided-state/seq"
+    # One state-independent uniform sample; the update also reads the
+    # acting node's own colour (decided vs undecided branch).
+    tick_footprint = TickFootprint(samples=1, reads_own=True)
 
     def make_state(self, colors: np.ndarray, k: int) -> NodeArrayState:
         return _make_state_with_undecided(colors, k)
@@ -201,20 +205,14 @@ class UndecidedStateSequential(SequentialProtocol):
         support = int(np.count_nonzero(counts[:-1]))
         return (support <= 1 and counts[-1] == 0) or support == 0
 
-    def seq_tick_batch(self, state: NodeArrayState, nodes: np.ndarray, topology: Topology, rng: np.random.Generator) -> None:
-        # Presampled target identities; colour reads at apply time.
-        nodes = np.asarray(nodes, dtype=np.int64)
-        targets = topology.sample_neighbors_many(nodes, rng)
-        colors = state.colors
+    def tick_values(self, state: NodeArrayState, own: np.ndarray, observed: np.ndarray) -> np.ndarray:
         undecided = state.k - 1
-        for node, target in zip(nodes.tolist(), targets.tolist()):
-            seen = colors[target]
-            if seen == undecided:
-                continue
-            if colors[node] == undecided:
-                colors[node] = seen
-            elif seen != colors[node]:
-                colors[node] = undecided
+        seen = observed[:, 0]
+        decided_seen = seen != undecided
+        own_undecided = own == undecided
+        values = np.where(own_undecided & decided_seen, seen, own)
+        clash = ~own_undecided & decided_seen & (seen != own)
+        return np.where(clash, undecided, values)
 
     def as_sequential_counts(self) -> "UndecidedStateSequentialCounts":
         return UndecidedStateSequentialCounts()

@@ -23,6 +23,7 @@ from .base import (
     SequentialCountsProtocol,
     SequentialProtocol,
     SynchronousProtocol,
+    TickFootprint,
     self_excluded_sample_probabilities,
     self_excluded_sample_probabilities_ensemble,
 )
@@ -97,6 +98,8 @@ class VoterSequential(SequentialProtocol):
     """Tick-based pull voting for the asynchronous engines."""
 
     name = "voter/seq"
+    # One state-independent uniform sample; adopts it unconditionally.
+    tick_footprint = TickFootprint(samples=1, reads_own=False)
 
     def tick_targets(self, state: NodeArrayState, node: int, topology: Topology, rng: np.random.Generator) -> np.ndarray:
         return topology.sample_neighbors(node, 1, rng)
@@ -105,13 +108,8 @@ class VoterSequential(SequentialProtocol):
         if len(observed_colors):
             state.colors[node] = observed_colors[0]
 
-    def seq_tick_batch(self, state: NodeArrayState, nodes: np.ndarray, topology: Topology, rng: np.random.Generator) -> None:
-        # Presampled target identities; colour reads at apply time.
-        nodes = np.asarray(nodes, dtype=np.int64)
-        targets = topology.sample_neighbors_many(nodes, rng)
-        colors = state.colors
-        for node, target in zip(nodes.tolist(), targets.tolist()):
-            colors[node] = colors[target]
+    def tick_values(self, state: NodeArrayState, own: np.ndarray, observed: np.ndarray) -> np.ndarray:
+        return observed[:, 0]
 
     def as_sequential_counts(self) -> "VoterSequentialCounts":
         return VoterSequentialCounts()

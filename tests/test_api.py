@@ -337,7 +337,7 @@ class TestSimulateSurface:
         with pytest.raises(ConfigurationError, match="SimulationSpec"):
             simulate({"protocol": "voter", "n": 10})
 
-    def test_sparse_topology_routes_agent_engine(self):
+    def test_sparse_topology_routes_hazard_batched_engine(self):
         spec = SimulationSpec(
             protocol="voter",
             n=32,
@@ -350,7 +350,7 @@ class TestSimulateSurface:
             max_steps=3000,
         )
         sim = simulate(spec)
-        assert sim.engine == "SequentialEngine"
+        assert sim.engine == "SparseSequentialEngine"
         assert sim.reps == 2
 
     def test_sparse_synchronous_uses_agent_realisation(self):

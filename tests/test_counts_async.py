@@ -28,6 +28,7 @@ from repro.engine import (
     CountsEngine,
     CountsSequentialEngine,
     SequentialEngine,
+    SparseSequentialEngine,
     SynchronousEngine,
     fastest_engine,
 )
@@ -249,9 +250,9 @@ class TestDispatch:
         engine = fastest_engine(TwoChoicesSequentialCounts(), CompleteGraph(100))
         assert isinstance(engine, CountsSequentialEngine)
 
-    def test_sparse_topology_falls_back_to_agent_engine(self):
+    def test_sparse_topology_routes_hazard_batched_engine(self):
         engine = fastest_engine(TwoChoicesSequential(), hypercube(5), model="sequential")
-        assert isinstance(engine, SequentialEngine)
+        assert isinstance(engine, SparseSequentialEngine)
 
     def test_protocol_without_companion_falls_back(self):
         engine = fastest_engine(AsyncPluralityProtocol(), CompleteGraph(100), model="sequential")
@@ -312,8 +313,8 @@ class TestSeqTickBatchHooks:
             seq_protocol.seq_tick_batch(state, nodes, graph, rng_batch)
             batch_c0.append(int(state.counts()[0]))
             state = seq_protocol.make_state(labels.copy(), k)
-            # the base-class implementation: one seq_tick per node
-            SequentialProtocol.seq_tick_batch(seq_protocol, state, nodes, graph, rng_loop)
+            # the reference loop: one seq_tick per node
+            SequentialProtocol.seq_tick_batch_loop(seq_protocol, state, nodes, graph, rng_loop)
             loop_c0.append(int(state.counts()[0]))
         sem = np.sqrt((np.var(batch_c0) + np.var(loop_c0)) / trials)
         assert abs(np.mean(batch_c0) - np.mean(loop_c0)) < 4 * sem + 1e-9

@@ -21,6 +21,7 @@ from repro.engine.ensemble import (
     EnsembleCountsSequentialEngine,
 )
 from repro.engine.sequential import SequentialEngine
+from repro.engine.sparse_async import SparseContinuousEngine, SparseSequentialEngine
 from repro.engine.synchronous import SynchronousEngine
 from repro.graphs.complete import CompleteGraph
 from repro.graphs.sparse import ring
@@ -67,9 +68,16 @@ ROUTING_TABLE = [
     # ... and counts tick protocols route there directly.
     ("seq-counts/K_n/1", TwoChoicesSequentialCounts, "sequential", K_N, None, 1, CountsSequentialEngine),
     ("seq-counts/K_n/R", TwoChoicesSequentialCounts, "sequential", K_N, None, 8, EnsembleCountsSequentialEngine),
-    # Off K_n the agent tick engine runs, whatever n_reps is.
-    ("seq/ring/1", TwoChoicesSequential, "sequential", RING, None, 1, SequentialEngine),
-    ("seq/ring/R", TwoChoicesSequential, "sequential", RING, None, 8, SequentialEngine),
+    # Off K_n a declared tick footprint routes to the hazard-batched
+    # engine (a single-run engine: run_replicated loops it for reps).
+    ("seq/ring/1", TwoChoicesSequential, "sequential", RING, None, 1, SparseSequentialEngine),
+    ("seq/ring/R", TwoChoicesSequential, "sequential", RING, None, 8, SparseSequentialEngine),
+    ("seq-voter/ring/1", VoterSequential, "sequential", RING, None, 1, SparseSequentialEngine),
+    ("seq-3maj/ring/1", ThreeMajoritySequential, "sequential", RING, None, 1, SparseSequentialEngine),
+    ("seq-usd/ring/1", UndecidedStateSequential, "sequential", RING, None, 1, SparseSequentialEngine),
+    # No footprint (phase-dependent sampling): the per-tick reference
+    # engine remains the only exact option off K_n.
+    ("seq-async-plurality/ring/1", AsyncPluralityProtocol, "sequential", RING, None, 1, SequentialEngine),
     # No counts companion (the phased protocol): agent engine even on K_n.
     ("seq-async-plurality/K_n/1", AsyncPluralityProtocol, "sequential", K_N, None, 1, SequentialEngine),
     ("seq-async-plurality/K_n/R", AsyncPluralityProtocol, "sequential", K_N, None, 8, SequentialEngine),
@@ -77,12 +85,15 @@ ROUTING_TABLE = [
     ("cont/K_n/1", TwoChoicesSequential, "continuous", K_N, None, 1, CountsContinuousEngine),
     ("cont/K_n/R", TwoChoicesSequential, "continuous", K_N, None, 8, EnsembleCountsContinuousEngine),
     ("cont-counts/K_n/1", TwoChoicesSequentialCounts, "continuous", K_N, None, 1, CountsContinuousEngine),
-    ("cont/ring/1", TwoChoicesSequential, "continuous", RING, None, 1, ContinuousEngine),
-    # A zero delay model keeps the counts fast path ...
+    ("cont/ring/1", TwoChoicesSequential, "continuous", RING, None, 1, SparseContinuousEngine),
+    ("cont-async-plurality/ring/1", AsyncPluralityProtocol, "continuous", RING, None, 1, ContinuousEngine),
+    # A zero delay model keeps the batched fast paths ...
     ("cont-zero-delay/K_n/1", TwoChoicesSequential, "continuous", K_N, FixedDelay(0.0), 1, CountsContinuousEngine),
+    ("cont-zero-delay/ring/1", TwoChoicesSequential, "continuous", RING, FixedDelay(0.0), 1, SparseContinuousEngine),
     # ... a real one forces the event-queue reference engine.
     ("cont-delay/K_n/1", TwoChoicesSequential, "continuous", K_N, ExponentialDelay(1.0), 1, ContinuousEngine),
     ("cont-delay/K_n/R", TwoChoicesSequential, "continuous", K_N, ExponentialDelay(1.0), 8, ContinuousEngine),
+    ("cont-delay/ring/1", TwoChoicesSequential, "continuous", RING, ExponentialDelay(1.0), 1, ContinuousEngine),
     ("cont-async-plurality/K_n/1", AsyncPluralityProtocol, "continuous", K_N, None, 1, ContinuousEngine),
 ]
 

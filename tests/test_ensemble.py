@@ -36,6 +36,7 @@ from repro.engine import (
     EnsembleCountsEngine,
     EnsembleCountsSequentialEngine,
     SequentialEngine,
+    SparseSequentialEngine,
     SynchronousEngine,
     fastest_engine,
     run_replicated,
@@ -304,14 +305,15 @@ class TestDispatchAndRouting:
 
     def test_ineligible_protocols_fall_back_to_single_engines(self):
         # OneExtraBit has no ensemble round hooks; sparse topologies
-        # have no counts path at all.
+        # have no counts path (their hazard-batched tick engine is a
+        # single-run engine run_replicated loops over).
         assert isinstance(
             fastest_engine(OneExtraBitCounts(), CompleteGraph(100), model="synchronous", n_reps=10),
             CountsEngine,
         )
         assert isinstance(
             fastest_engine(TwoChoicesSequential(), hypercube(5), model="sequential", n_reps=10),
-            SequentialEngine,
+            SparseSequentialEngine,
         )
         assert isinstance(
             fastest_engine(TwoChoicesSynchronous(), hypercube(5), model="synchronous", n_reps=10),

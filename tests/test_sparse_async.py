@@ -1,0 +1,512 @@
+"""The sparse-topology hazard-batched fast path.
+
+Four layers of guarantees, mirroring the exactness argument in
+``repro/core/hazard.py`` and ``repro/engine/sparse_async.py``:
+
+1. *Unit*: ``HazardScratch.prefix_length`` on hand-built blocks,
+   including write-mask and stale-epoch cases.
+2. *Bit-exact pinning*: on the **same presampled draws**,
+   ``apply_hazard_free`` must equal the per-tick reference loop node
+   for node — exercised on adversarial graphs where collisions are the
+   common case (star hub, 3-ring) for every footprint protocol, and
+   for the conservative no-``tick_values`` path.
+3. *Law*: the hazard-batched engines draw convergence times from the
+   same distribution as the reference engines (KS permutation tests)
+   for Voter / Two-Choices / 3-Majority on ring, torus and
+   random-regular.
+4. *Plumbing*: routing, budgets, trace and check cadences, and the
+   construction fast paths (``sample_neighbors_block``, ``from_csr``,
+   networkx import).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistics import ks_permutation_test
+from repro.core.colors import ColorConfiguration
+from repro.core.exceptions import ConfigurationError, TopologyError
+from repro.core.hazard import HazardScratch, apply_hazard_free
+from repro.engine import (
+    ContinuousEngine,
+    SequentialEngine,
+    SparseContinuousEngine,
+    SparseSequentialEngine,
+    fastest_engine,
+)
+from repro.graphs.complete import CompleteGraph
+from repro.graphs.families import hypercube, random_regular, star
+from repro.graphs.sparse import AdjacencyTopology, ring, torus
+from repro.protocols.async_plurality import AsyncPluralityProtocol
+from repro.protocols.base import SequentialProtocol, TickFootprint
+from repro.protocols.lossy import LossyProtocol
+from repro.protocols.three_majority import ThreeMajoritySequential
+from repro.protocols.two_choices import TwoChoicesSequential
+from repro.protocols.undecided_state import UndecidedStateSequential
+from repro.protocols.voter import VoterSequential
+
+FOOTPRINT_PROTOCOLS = [
+    TwoChoicesSequential,
+    VoterSequential,
+    ThreeMajoritySequential,
+    UndecidedStateSequential,
+]
+
+
+def _reads(nodes, targets):
+    nodes = np.asarray(nodes, dtype=np.int64)
+    targets = np.asarray(targets, dtype=np.int64)
+    return np.concatenate([nodes[:, None], targets], axis=1)
+
+
+class TestHazardScratchUnit:
+    def test_read_of_earlier_write_cuts(self):
+        scratch = HazardScratch(10)
+        # tick 2 reads node 0, written by tick 0.
+        assert scratch.prefix_length(_reads([0, 1, 2], [[1], [2], [0]])) == 2
+
+    def test_duplicate_initiator_cuts(self):
+        scratch = HazardScratch(10)
+        assert scratch.prefix_length(_reads([5, 5], [[1], [2]])) == 1
+
+    def test_clean_block_passes_whole(self):
+        scratch = HazardScratch(10)
+        assert scratch.prefix_length(_reads([0, 1, 2], [[3], [4], [5]])) == 3
+
+    def test_stale_epoch_is_ignored(self):
+        scratch = HazardScratch(10)
+        assert scratch.prefix_length(_reads([0], [[1]])) == 1
+        # Node 0's stamp is from the previous call: not a hazard now.
+        assert scratch.prefix_length(_reads([1, 2], [[0], [0]])) == 2
+
+    def test_write_mask_limits_hazards(self):
+        scratch = HazardScratch(10)
+        reads = _reads([0, 1, 2], [[2], [3], [0]])
+        # Conservatively tick 2's read of node 0 is a hazard ...
+        assert scratch.prefix_length(reads) == 2
+        # ... but not when tick 0 did not actually write.
+        wrote = np.array([False, True, True])
+        assert scratch.prefix_length(reads, wrote) == 3
+
+    def test_non_writing_duplicate_initiators_pass(self):
+        scratch = HazardScratch(10)
+        reads = _reads([5, 5], [[1], [2]])
+        wrote = np.array([False, False])
+        assert scratch.prefix_length(reads, wrote) == 2
+
+    def test_first_tick_never_hazardous(self):
+        scratch = HazardScratch(4)
+        assert scratch.prefix_length(_reads([1], [[1]])) == 1
+
+
+class _ConservativeVoter(VoterSequential):
+    """Footprint but no vectorised value rule: the conservative path."""
+
+    def tick_values(self, state, own, observed):
+        return None
+
+
+ADVERSARIAL_TOPOLOGIES = [
+    ("star", lambda: star(12)),
+    ("ring3", lambda: ring(3)),
+    ("torus3x3", lambda: torus(3, 3)),
+    ("torus10x10", lambda: torus(10, 10)),
+]
+
+
+class TestBitExactPinning:
+    """Same presampled draws => identical states, vectorised vs loop."""
+
+    @pytest.mark.parametrize("proto_cls", FOOTPRINT_PROTOCOLS + [_ConservativeVoter])
+    @pytest.mark.parametrize("topo_name,topo_factory", ADVERSARIAL_TOPOLOGIES)
+    def test_apply_hazard_free_matches_reference_loop(self, proto_cls, topo_name, topo_factory):
+        protocol = proto_cls()
+        topology = topo_factory()
+        n = topology.n
+        rng = np.random.default_rng(42)
+        colors = rng.integers(0, 3, size=n)
+        state_batch = protocol.make_state(colors.copy(), 3)
+        state_loop = protocol.make_state(colors.copy(), 3)
+        nodes = rng.integers(0, n, size=900)
+        targets = topology.sample_neighbors_block(nodes, protocol.tick_footprint.samples, rng)
+        cuts = apply_hazard_free(protocol, state_batch, nodes, targets)
+        assert cuts >= 0
+        for i in range(len(nodes)):
+            protocol.tick_apply(state_loop, int(nodes[i]), state_loop.colors[targets[i]])
+        assert np.array_equal(state_batch.colors, state_loop.colors)
+
+    def test_star_hub_forces_many_cuts_conservatively(self):
+        # On a star every tick reads or writes the hub.  Without a
+        # value rule every tick counts as a writer, so the batch
+        # degrades towards per-tick chunks without losing exactness.
+        protocol = _ConservativeVoter()
+        topology = star(8)
+        rng = np.random.default_rng(0)
+        state = protocol.make_state(rng.integers(0, 2, size=8), 2)
+        nodes = rng.integers(0, 8, size=256)
+        targets = topology.sample_neighbors_block(nodes, 1, rng)
+        cuts = apply_hazard_free(protocol, state, nodes, targets)
+        assert cuts > 50
+
+    def test_actual_write_tracking_avoids_cuts(self):
+        # The optimistic path sees through no-op ticks: voter on a star
+        # agrees with the hub quickly, after which almost nothing
+        # actually writes and chunks span nearly the whole block.
+        protocol = VoterSequential()
+        topology = star(8)
+        rng = np.random.default_rng(0)
+        state = protocol.make_state(rng.integers(0, 2, size=8), 2)
+        nodes = rng.integers(0, 8, size=256)
+        targets = topology.sample_neighbors_block(nodes, 1, rng)
+        cuts = apply_hazard_free(protocol, state, nodes, targets)
+        assert cuts < 10
+
+    def test_scratch_reuse_across_blocks(self):
+        protocol = VoterSequential()
+        topology = star(30)
+        rng = np.random.default_rng(7)
+        state_batch = protocol.make_state(rng.integers(0, 2, size=30), 2)
+        state_loop = protocol.make_state(state_batch.colors.copy(), 2)
+        scratch = HazardScratch(30)
+        for _ in range(40):
+            nodes = rng.integers(0, 30, size=64)
+            targets = topology.sample_neighbors_block(nodes, 1, rng)
+            apply_hazard_free(protocol, state_batch, nodes, targets, scratch)
+            for i in range(len(nodes)):
+                protocol.tick_apply(state_loop, int(nodes[i]), state_loop.colors[targets[i]])
+            assert np.array_equal(state_batch.colors, state_loop.colors)
+
+
+class TestFootprints:
+    def test_declared_footprints(self):
+        assert TwoChoicesSequential.tick_footprint == TickFootprint(samples=2, reads_own=False)
+        assert VoterSequential.tick_footprint == TickFootprint(samples=1, reads_own=False)
+        assert ThreeMajoritySequential.tick_footprint == TickFootprint(samples=3, reads_own=False)
+        assert UndecidedStateSequential.tick_footprint == TickFootprint(samples=1, reads_own=True)
+
+    def test_complex_protocols_stay_undeclared(self):
+        assert AsyncPluralityProtocol.tick_footprint is None
+        assert LossyProtocol.tick_footprint is None
+        assert SequentialProtocol.tick_footprint is None
+
+    def test_batch_hook_matches_loop_in_law(self):
+        # seq_tick_batch (hazard path) vs the reference loop consume
+        # the generator differently, so compare the tick law, not the
+        # stream: mean majority count after a fixed tick block.
+        protocol = TwoChoicesSequential()
+        topology = torus(6, 6)
+        n = topology.n
+        labels = np.array([0] * 22 + [1] * 14)
+        batch_majority, loop_majority = [], []
+        rng_batch = np.random.default_rng(1)
+        rng_loop = np.random.default_rng(2)
+        for trial in range(300):
+            nodes = np.random.default_rng(5000 + trial).integers(0, n, size=120)
+            state = protocol.make_state(labels.copy(), 2)
+            protocol.seq_tick_batch(state, nodes, topology, rng_batch)
+            batch_majority.append(int(state.counts()[0]))
+            state = protocol.make_state(labels.copy(), 2)
+            protocol.seq_tick_batch_loop(state, nodes, topology, rng_loop)
+            loop_majority.append(int(state.counts()[0]))
+        sem = np.sqrt((np.var(batch_majority) + np.var(loop_majority)) / 300)
+        assert abs(np.mean(batch_majority) - np.mean(loop_majority)) < 4 * sem + 1e-9
+
+
+class _PerTickTwoChoices(TwoChoicesSequential):
+    seq_tick_batch = SequentialProtocol.seq_tick_batch_loop
+
+
+KS_PROTOCOLS = [
+    ("two-choices", TwoChoicesSequential, 6 * 24**2),
+    ("voter", VoterSequential, 6 * 24**2),
+    ("three-majority", ThreeMajoritySequential, 6 * 24**2),
+]
+KS_TOPOLOGIES = [
+    ("ring", lambda: ring(24)),
+    ("torus", lambda: torus(5, 5)),
+    ("random-regular", lambda: random_regular(24, 4, seed=11)),
+]
+
+
+class TestCrossEngineLaw:
+    """Batched vs reference engines: same convergence-time law."""
+
+    @pytest.mark.parametrize("proto_name,proto_cls,per_n_budget", KS_PROTOCOLS)
+    @pytest.mark.parametrize("topo_name,topo_factory", KS_TOPOLOGIES)
+    def test_sparse_sequential_matches_sequential(
+        self, proto_name, proto_cls, per_n_budget, topo_name, topo_factory
+    ):
+        topology = topo_factory()
+        n = topology.n
+        config = ColorConfiguration([int(0.7 * n), n - int(0.7 * n)])
+        max_ticks = per_n_budget * n
+        trials = 40
+        reference = SequentialEngine(proto_cls(), topology)
+        batched = SparseSequentialEngine(proto_cls(), topology)
+        ref_rounds, sparse_rounds = [], []
+        for trial in range(trials):
+            ref = reference.run(config, seed=1000 + trial, max_ticks=max_ticks)
+            spr = batched.run(config, seed=9000 + trial, max_ticks=max_ticks)
+            assert ref.converged and spr.converged, (proto_name, topo_name, trial)
+            ref_rounds.append(ref.rounds)
+            sparse_rounds.append(spr.rounds)
+        stat, p_value = ks_permutation_test(ref_rounds, sparse_rounds, seed=5)
+        assert p_value > 0.01, (proto_name, topo_name, stat, p_value)
+
+    def test_sparse_matches_true_per_tick_loop(self):
+        # One cell against the seed per-tick loop itself (not just the
+        # vectorised SequentialEngine path): voter on a small ring.
+        topology = ring(16)
+        config = ColorConfiguration([11, 5])
+        reference = SequentialEngine(_PerTickTwoChoices(), topology)
+        batched = SparseSequentialEngine(TwoChoicesSequential(), topology)
+        max_ticks = 16**3 * 40
+        ref_rounds, sparse_rounds = [], []
+        for trial in range(40):
+            ref = reference.run(config, seed=300 + trial, max_ticks=max_ticks)
+            spr = batched.run(config, seed=7300 + trial, max_ticks=max_ticks)
+            assert ref.converged and spr.converged
+            ref_rounds.append(ref.rounds)
+            sparse_rounds.append(spr.rounds)
+        stat, p_value = ks_permutation_test(ref_rounds, sparse_rounds, seed=5)
+        assert p_value > 0.01, (stat, p_value)
+
+    def test_sparse_continuous_matches_continuous(self):
+        topology = torus(5, 5)
+        n = topology.n
+        config = ColorConfiguration([18, 7])
+        reference = ContinuousEngine(TwoChoicesSequential(), topology)
+        batched = SparseContinuousEngine(TwoChoicesSequential(), topology)
+        ref_times, sparse_times = [], []
+        for trial in range(40):
+            ref = reference.run(config, seed=100 + trial, max_time=4000.0)
+            spr = batched.run(config, seed=8100 + trial, max_time=4000.0)
+            assert ref.converged and spr.converged
+            ref_times.append(ref.parallel_time)
+            sparse_times.append(spr.parallel_time)
+        stat, p_value = ks_permutation_test(ref_times, sparse_times, seed=5)
+        assert p_value > 0.01, (stat, p_value)
+
+    def test_undecided_state_law_on_torus(self):
+        topology = torus(5, 5)
+        n = topology.n
+        config = ColorConfiguration([17, 8])
+        reference = SequentialEngine(UndecidedStateSequential(), topology)
+        batched = SparseSequentialEngine(UndecidedStateSequential(), topology)
+        max_ticks = 4000 * n
+        ref_rounds, sparse_rounds = [], []
+        for trial in range(40):
+            ref = reference.run(config, seed=500 + trial, max_ticks=max_ticks)
+            spr = batched.run(config, seed=6500 + trial, max_ticks=max_ticks)
+            assert ref.converged and spr.converged
+            ref_rounds.append(ref.rounds)
+            sparse_rounds.append(spr.rounds)
+        stat, p_value = ks_permutation_test(ref_rounds, sparse_rounds, seed=5)
+        assert p_value > 0.01, (stat, p_value)
+
+
+class TestEnginePlumbing:
+    def test_rejects_protocol_without_footprint(self):
+        with pytest.raises(ConfigurationError, match="footprint"):
+            SparseSequentialEngine(AsyncPluralityProtocol(), ring(16))
+
+    def test_rejects_bad_block_ticks(self):
+        with pytest.raises(ConfigurationError, match="block_ticks"):
+            SparseSequentialEngine(VoterSequential(), ring(16), block_ticks=0)
+
+    def test_rejects_size_mismatch(self):
+        engine = SparseSequentialEngine(VoterSequential(), ring(16))
+        with pytest.raises(ConfigurationError, match="16"):
+            engine.run(ColorConfiguration([5, 5]), seed=0)
+
+    def test_tick_budget_and_parallel_time_grid(self):
+        engine = SparseSequentialEngine(VoterSequential(), ring(32))
+        result = engine.run(
+            ColorConfiguration([16, 16]), max_ticks=1000, stop=lambda counts: False, seed=3
+        )
+        assert result.rounds == 1000
+        assert result.parallel_time == 1000 / 32
+        assert not result.converged
+
+    def test_convergence_lands_on_check_grid(self):
+        engine = SparseSequentialEngine(TwoChoicesSequential(), torus(5, 5))
+        result = engine.run(ColorConfiguration([20, 5]), seed=2, max_ticks=25 * 20000)
+        assert result.converged
+        # Stop conditions fire on the check_every (= n) cadence, like
+        # SequentialEngine, unless absorption ended the run earlier.
+        assert result.rounds % 25 == 0
+
+    def test_continuous_respects_max_time(self):
+        engine = SparseContinuousEngine(VoterSequential(), ring(64))
+        result = engine.run(
+            ColorConfiguration([32, 32]), max_time=2.5, stop=lambda counts: False, seed=4
+        )
+        assert result.parallel_time <= 2.5
+        assert not result.converged
+
+    def test_trace_cadence(self):
+        engine = SparseSequentialEngine(VoterSequential(), ring(50))
+        result = engine.run(
+            ColorConfiguration([25, 25]),
+            max_ticks=50 * 10,
+            stop=lambda counts: False,
+            record_trace=True,
+            trace_every_parallel=1.0,
+            seed=5,
+        )
+        assert len(result.trace) >= 10
+
+    def test_continuous_trace_cadence_with_large_check_every(self):
+        engine = SparseContinuousEngine(TwoChoicesSequential(), torus(8, 8))
+        result = engine.run(
+            ColorConfiguration([40, 24]),
+            seed=5,
+            record_trace=True,
+            trace_every=1.0,
+            check_every=10**9,
+            max_time=6.0,
+        )
+        assert len(result.trace) >= 5
+
+    def test_metadata_names_engine(self):
+        seq = SparseSequentialEngine(VoterSequential(), ring(16)).run(
+            ColorConfiguration([10, 6]), seed=0, max_ticks=400
+        )
+        assert seq.metadata["engine"] == "sparse-sequential"
+        cont = SparseContinuousEngine(VoterSequential(), ring(16)).run(
+            ColorConfiguration([10, 6]), seed=0, max_time=30.0
+        )
+        assert cont.metadata["engine"] == "sparse-continuous"
+
+    def test_fixed_block_ticks_is_honoured_exactly(self):
+        # A fixed block size disables adaptation but not correctness.
+        engine = SparseSequentialEngine(VoterSequential(), ring(32), block_ticks=7)
+        result = engine.run(
+            ColorConfiguration([16, 16]), max_ticks=200, stop=lambda counts: False, seed=6
+        )
+        assert result.rounds == 200
+
+
+class TestSamplingBlocks:
+    def test_block_matches_neighbor_sets(self):
+        for topology in (ring(12), star(9), torus(4, 4), hypercube(4)):
+            rng = np.random.default_rng(3)
+            nodes = rng.integers(0, topology.n, size=500)
+            block = topology.sample_neighbors_block(nodes, 3, rng)
+            assert block.shape == (500, 3)
+            for i in range(0, 500, 97):
+                neighbors = set(int(v) for v in topology.neighbors_of(int(nodes[i])))
+                assert set(int(v) for v in block[i]) <= neighbors
+
+    def test_uniform_degree_detection(self):
+        assert ring(10)._uniform_degree == 2
+        assert torus(4, 5)._uniform_degree == 4
+        assert star(5)._uniform_degree is None
+
+    def test_block_uniformity_on_regular_and_irregular(self):
+        # Chi-square-ish sanity: each neighbour appears ~uniformly.
+        for topology in (ring(6), star(6)):
+            rng = np.random.default_rng(9)
+            nodes = np.full(20000, 0, dtype=np.int64)
+            block = topology.sample_neighbors_block(nodes, 1, rng)
+            _, counts = np.unique(block, return_counts=True)
+            expected = 20000 / topology.degree(0)
+            assert np.all(np.abs(counts - expected) < 6 * np.sqrt(expected))
+
+    def test_complete_graph_block_excludes_self(self):
+        graph = CompleteGraph(7)
+        rng = np.random.default_rng(1)
+        nodes = rng.integers(0, 7, size=1000)
+        block = graph.sample_neighbors_block(nodes, 2, rng)
+        assert (block != nodes[:, None]).all()
+        assert block.min() >= 0 and block.max() < 7
+
+
+class TestFromCSR:
+    def test_round_trip_matches_list_construction(self):
+        reference = torus(4, 6)
+        rebuilt = AdjacencyTopology.from_csr(reference._offsets, reference._flat)
+        assert rebuilt.n == reference.n
+        for node in range(reference.n):
+            assert np.array_equal(rebuilt.neighbors_of(node), reference.neighbors_of(node))
+        assert rebuilt._uniform_degree == reference._uniform_degree
+
+    def test_rejects_isolated_node(self):
+        with pytest.raises(TopologyError, match="isolated"):
+            AdjacencyTopology.from_csr(np.array([0, 1, 1, 2]), np.array([1, 0]))
+
+    def test_rejects_bad_offsets(self):
+        with pytest.raises(TopologyError, match="offsets"):
+            AdjacencyTopology.from_csr(np.array([1, 2, 3]), np.array([0, 1, 0]))
+
+    def test_rejects_out_of_range_neighbor(self):
+        with pytest.raises(TopologyError, match="outside|neighbour"):
+            AdjacencyTopology.from_csr(np.array([0, 1, 2]), np.array([5, 0]))
+
+    def test_rejects_single_node(self):
+        with pytest.raises(TopologyError, match="2 nodes"):
+            AdjacencyTopology.from_csr(np.array([0, 1]), np.array([0]))
+
+
+class TestNetworkxAdapter:
+    def test_from_networkx_builds_csr(self):
+        nx = pytest.importorskip("networkx")
+        from repro.graphs.nx_adapter import from_networkx
+
+        graph = nx.cycle_graph(9)
+        topology = from_networkx(graph)
+        reference = ring(9)
+        assert topology.n == 9
+        for node in range(9):
+            assert set(topology.neighbors_of(node).tolist()) == set(
+                reference.neighbors_of(node).tolist()
+            )
+        # CSR construction implies the vectorised block sampler.
+        rng = np.random.default_rng(0)
+        block = topology.sample_neighbors_block(np.arange(9), 2, rng)
+        assert block.shape == (9, 2)
+
+    def test_from_networkx_rejects_isolated(self):
+        nx = pytest.importorskip("networkx")
+        from repro.graphs.nx_adapter import from_networkx
+
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+        graph.add_node(2)
+        with pytest.raises(TopologyError, match="isolated"):
+            from_networkx(graph)
+
+    def test_from_networkx_rejects_directed(self):
+        nx = pytest.importorskip("networkx")
+        from repro.graphs.nx_adapter import from_networkx
+
+        with pytest.raises(TopologyError, match="undirected"):
+            from_networkx(nx.DiGraph([(0, 1)]))
+
+
+class TestDispatchIntegration:
+    def test_simulate_routes_sparse_and_runs(self):
+        from repro.api import SimulationSpec, simulate
+
+        spec = SimulationSpec(
+            protocol="two-choices",
+            n=64,
+            topology="torus",
+            model="sequential",
+            initial="two-colors",
+            initial_params={"gap": 24},
+            reps=3,
+            seed=11,
+            max_steps=64 * 4000,
+        )
+        sim = simulate(spec)
+        assert sim.engine == "SparseSequentialEngine"
+        assert sim.reps == 3
+        assert all(run.converged for run in sim.runs)
+
+    def test_fastest_engine_zero_delay_continuous(self):
+        from repro.engine.delays import FixedDelay
+
+        engine = fastest_engine(
+            VoterSequential(), ring(32), model="continuous", delay_model=FixedDelay(0.0)
+        )
+        assert isinstance(engine, SparseContinuousEngine)
