@@ -59,6 +59,10 @@ def test_sparse_engine_perf(benchmark):
     for slug in ("torus", "random_regular"):
         assert criteria[f"sparse_seq_ge_10x_vs_per_tick_{slug}"], criteria
         assert criteria[f"consensus_faster_than_zip_apply_{slug}"], criteria
+        # The dispatch crossover must route the small-n mixed phase at
+        # least on par with the zip-apply hooks path (the historical
+        # raw-sparse 0.77x regression is healed by routing, not tuning).
+        assert criteria[f"sparse_seq_mixed_phase_healed_{slug}"], criteria
     assert criteria["consensus_random_regular_converged"], payload["consensus"]
 
 

@@ -3,7 +3,7 @@
 from .experiments import EXPERIMENTS, experiment_ids, run_all, run_experiment
 from .harness import FULL, QUICK, ExperimentReport, ExperimentScale, run_engine_trials, run_trials
 from .report import render_markdown_table, render_payload, render_report
-from .store import ResultStore
+from .store import ResultStore, bench_environment, save_bench_payload
 from .tables import format_table
 
 __all__ = [
@@ -18,6 +18,8 @@ __all__ = [
     "run_trials",
     "run_engine_trials",
     "ResultStore",
+    "bench_environment",
+    "save_bench_payload",
     "render_markdown_table",
     "render_payload",
     "render_report",

@@ -34,8 +34,6 @@ trajectory stays comparable across PRs.
 
 from __future__ import annotations
 
-import json
-import platform
 import time
 from typing import Dict, List, Optional, Sequence
 
@@ -50,6 +48,7 @@ from ..protocols.base import SequentialProtocol
 from ..protocols.two_choices import TwoChoicesSequential
 from ..protocols.two_choices_fast import two_choices_sequential_fast
 from ..workloads.initial import benchmark_split
+from .store import bench_environment, save_bench_payload
 
 __all__ = [
     "benchmark_engines",
@@ -283,19 +282,13 @@ def benchmark_engines(
         "speedups_vs_per_tick": speedups,
         "ensemble": ensemble_rows,
         "criteria": criteria,
-        "environment": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-        },
+        "environment": bench_environment(),
     }
 
 
 def save_payload(payload: Dict, path: str) -> None:
     """Write the payload as indented JSON (stable key order)."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=False)
-        handle.write("\n")
+    save_bench_payload(payload, path)
 
 
 def format_payload(payload: Dict) -> str:

@@ -1,20 +1,45 @@
-"""JSON result store.
+"""JSON result store and shared bench-payload plumbing.
 
 Each experiment run can be persisted as ``<dir>/<experiment_id>.json``
 so EXPERIMENTS.md's paper-vs-measured numbers are regenerable and the
 CLI can re-print past results without re-running the sweep.
+
+The module also hosts the two helpers every ``perf_*`` module and
+``benchmarks/bench_*.py`` target shares — the environment stamp and the
+``BENCH_*.json`` emission — so the payload format is defined once.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import platform
 from pathlib import Path
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from ..core.exceptions import ExperimentError
 
-__all__ = ["ResultStore"]
+__all__ = ["ResultStore", "bench_environment", "save_bench_payload"]
+
+
+def bench_environment() -> Dict[str, str]:
+    """The environment stamp embedded in every ``BENCH_*.json`` payload."""
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+    }
+
+
+def save_bench_payload(payload: Dict, path: str) -> None:
+    """Write a bench payload as indented JSON (insertion key order,
+    trailing newline) — the on-disk convention of the repo-root
+    ``BENCH_*.json`` perf-trajectory files."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
 
 
 class ResultStore:

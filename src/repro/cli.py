@@ -13,6 +13,7 @@ Examples::
     python -m repro schedule 100000
     python -m repro engines --quick --out BENCH_engines.json
     python -m repro sparse --quick --out BENCH_sparse.json
+    python -m repro kernels --quick --out BENCH_kernels.json
 """
 
 from __future__ import annotations
@@ -182,6 +183,14 @@ def build_parser() -> argparse.ArgumentParser:
     from .bench.perf_sparse import add_cli_arguments as add_sparse_cli_arguments
 
     add_sparse_cli_arguments(sparse_cmd)
+
+    kernels_cmd = sub.add_parser(
+        "kernels",
+        help="benchmark the compiled tick kernels (REPRO_KERNEL) against the numpy hazard path",
+    )
+    from .bench.perf_kernels import add_cli_arguments as add_kernels_cli_arguments
+
+    add_kernels_cli_arguments(kernels_cmd)
     return parser
 
 
@@ -468,6 +477,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .bench.perf_sparse import run_cli as run_sparse_cli
 
         return run_sparse_cli(args, parser.error)
+
+    if args.command == "kernels":
+        from .bench.perf_kernels import run_cli as run_kernels_cli
+
+        return run_kernels_cli(args, parser.error)
 
     if args.command == "schedule":
         schedule = PhaseSchedule.compile(args.n, sync_enabled=not args.no_sync)

@@ -1,0 +1,105 @@
+/* Compiled per-tick apply loop for the hazard-batched tick engines.
+ *
+ * One call applies a whole presampled tick block to the colour vector,
+ * one tick at a time, exactly as `SequentialProtocol.seq_tick` would:
+ * tick t reads the colours of its presampled targets (and, for rules
+ * that need it, the acting node's own colour), computes the rule's new
+ * value, and writes the acting node iff the value differs.  Because
+ * the loop really is sequential, every tick sees all earlier ticks'
+ * writes -- there is no hazard machinery to get right and the result
+ * is bit-identical to `seq_tick_batch_loop` (and therefore to
+ * `repro.core.hazard.apply_hazard_free`) on the same draws.
+ *
+ * The library is deliberately free of any Python API: it is compiled
+ * with a bare C compiler (`cc -O3 -shared -fPIC`, no Python headers)
+ * and loaded through ctypes, so the only ABI surface is this one
+ * function over int64 buffers.  Rule ids must stay in sync with
+ * `repro.core.hazard_kernel.RULE_IDS`.
+ */
+
+#include <stdint.h>
+
+#define REPRO_RULE_VOTER 1
+#define REPRO_RULE_TWO_CHOICES 2
+#define REPRO_RULE_THREE_MAJORITY 3
+#define REPRO_RULE_UNDECIDED_STATE 4
+
+/* ABI version stamp so the Python side can reject stale cached builds. */
+int64_t repro_kernel_abi(void) { return 1; }
+
+/* Apply m presampled ticks in order.
+ *
+ *   colors    int64[n]     mutated in place
+ *   nodes     int64[m]     acting node per tick
+ *   targets   int64[m*s]   row-major (m, s) presampled target ids
+ *   m         tick count
+ *   s         samples per tick (must match the rule's footprint)
+ *   rule      REPRO_RULE_* id
+ *   undecided the undecided label (k - 1); only read by the USD rule
+ *
+ * Returns the number of actual writes, or -1 for an unknown
+ * (rule, s) combination -- callers treat -1 as "fall back to numpy".
+ */
+int64_t repro_tick_loop(int64_t *colors, const int64_t *nodes,
+                        const int64_t *targets, int64_t m, int64_t s,
+                        int64_t rule, int64_t undecided) {
+    int64_t writes = 0;
+    int64_t t;
+    switch (rule) {
+    case REPRO_RULE_VOTER: /* adopt the sampled colour unconditionally */
+        if (s != 1) return -1;
+        for (t = 0; t < m; t++) {
+            int64_t node = nodes[t];
+            int64_t seen = colors[targets[t]];
+            if (seen != colors[node]) {
+                colors[node] = seen;
+                writes++;
+            }
+        }
+        return writes;
+    case REPRO_RULE_TWO_CHOICES: /* adopt iff both samples agree */
+        if (s != 2) return -1;
+        for (t = 0; t < m; t++) {
+            int64_t node = nodes[t];
+            int64_t a = colors[targets[2 * t]];
+            if (a == colors[targets[2 * t + 1]] && a != colors[node]) {
+                colors[node] = a;
+                writes++;
+            }
+        }
+        return writes;
+    case REPRO_RULE_THREE_MAJORITY: /* majority of three, first-sample tie-break */
+        if (s != 3) return -1;
+        for (t = 0; t < m; t++) {
+            int64_t node = nodes[t];
+            int64_t a = colors[targets[3 * t]];
+            int64_t b = colors[targets[3 * t + 1]];
+            int64_t c = colors[targets[3 * t + 2]];
+            int64_t value = (b == c && a != b) ? b : a;
+            if (value != colors[node]) {
+                colors[node] = value;
+                writes++;
+            }
+        }
+        return writes;
+    case REPRO_RULE_UNDECIDED_STATE: /* USD: decided/undecided branch */
+        if (s != 1) return -1;
+        for (t = 0; t < m; t++) {
+            int64_t node = nodes[t];
+            int64_t own = colors[node];
+            int64_t seen = colors[targets[t]];
+            if (own == undecided) {
+                if (seen != undecided) {
+                    colors[node] = seen;
+                    writes++;
+                }
+            } else if (seen != undecided && seen != own) {
+                colors[node] = undecided;
+                writes++;
+            }
+        }
+        return writes;
+    default:
+        return -1;
+    }
+}

@@ -57,7 +57,13 @@ from typing import Optional
 
 import numpy as np
 
+from .hazard_kernel import kernel_for
+
 __all__ = ["HazardScratch", "apply_hazard_free"]
+
+#: "resolve the kernel yourself" marker for :func:`apply_hazard_free`'s
+#: *kernel* parameter (``None`` means "numpy path, explicitly").
+_RESOLVE = object()
 
 
 class HazardScratch:
@@ -74,6 +80,22 @@ class HazardScratch:
         self.n = int(n)
         self._first = np.full(self.n, -1, dtype=np.int64)
         self._clock = 0
+        self._reads: Optional[np.ndarray] = None
+
+    def reads_buffer(self, m: int, width: int) -> np.ndarray:
+        """A reusable ``int64[m, width]`` read-set buffer.
+
+        Grown on demand and shared across blocks (and, through the
+        engines' ``run_replicated``, across replications), so the per-
+        block presample assembly never re-allocates once the block size
+        stabilises.  The content is overwritten by every caller — only
+        the storage is shared.
+        """
+        buffer = self._reads
+        if buffer is None or buffer.shape[0] < m or buffer.shape[1] != width:
+            buffer = np.empty((m, width), dtype=np.int64)
+            self._reads = buffer
+        return buffer[:m]
 
     @classmethod
     def for_state(cls, state) -> "HazardScratch":
@@ -153,6 +175,7 @@ def apply_hazard_free(
     nodes: np.ndarray,
     targets: np.ndarray,
     scratch: Optional[HazardScratch] = None,
+    kernel=_RESOLVE,
 ) -> int:
     """Apply presampled ticks to *state*, exactly as a sequential loop would.
 
@@ -174,7 +197,20 @@ def apply_hazard_free(
     ``O(n)`` table allocation twice.  Returns the number of hazard cuts
     (0 when the whole block applied cleanly) — callers may use it to
     adapt their block size.
+
+    When a compiled kernel is active (``REPRO_KERNEL`` — see
+    :mod:`repro.core.hazard_kernel`) and supports *protocol*, the whole
+    block is applied by the compiled per-tick loop instead.  The result
+    is bit-identical either way — the kernel applies exactly the
+    sequential semantics the hazard batches emulate, on the same
+    presampled draws — so the *kernel* parameter (an engine-resolved
+    :class:`~repro.core.hazard_kernel.TickKernel`, or ``None`` to force
+    the numpy path) trades wall-clock only.
     """
+    if kernel is _RESOLVE:
+        kernel = kernel_for(protocol)
+    if kernel is not None:
+        return kernel.apply(protocol, state, nodes, targets)
     if scratch is None:
         scratch = HazardScratch.for_state(state)
     colors = state.colors
@@ -182,7 +218,7 @@ def apply_hazard_free(
     # One (B, 1 + s) read-set matrix: the acting node in column 0, the
     # presampled targets after it — one colour gather and one stamp
     # gather per window cover own and target reads alike.
-    reads = np.empty((total, 1 + targets.shape[1]), dtype=np.int64)
+    reads = scratch.reads_buffer(total, 1 + targets.shape[1])
     reads[:, 0] = nodes
     reads[:, 1:] = targets
     start = 0

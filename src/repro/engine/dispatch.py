@@ -13,15 +13,41 @@ model               on ``K_n``               elsewhere / with delays
 ``"synchronous"``   CountsEngine (counts     SynchronousEngine
                     protocols) else
                     SynchronousEngine
-``"sequential"``    CountsSequentialEngine   SparseSequentialEngine when the
-                    when the protocol has a  protocol declares a tick
-                    counts-level tick law    footprint, else SequentialEngine
+``"sequential"``    CountsSequentialEngine   footprint protocols: Sparse-
+                    when the protocol has a  SequentialEngine from
+                    counts-level tick law    ``n >= 30_000``, the zip-apply
+                                             SequentialEngine below (see the
+                                             crossover note); else
+                                             SequentialEngine
 ``"continuous"``    CountsContinuousEngine   zero-delay: SparseContinuous-
                     when zero-delay and a    Engine when a tick footprint is
                     counts-level tick law    declared, else ContinuousEngine;
                                              a real delay model always forces
                                              ContinuousEngine
 ==================  =======================  ===============================
+
+Crossover note (sequential model, off ``K_n``)
+    The hazard-batched sparse engine amortises its per-block scan work
+    over ``~sqrt(n)``-wide chunks, so it wins for large ``n`` (1.4x at
+    ``n = 10^5`` on a torus) but *loses* to the fixed-batch zip-apply
+    hooks path in the mixed phase at ``n ~ 10^4`` (0.77x, BENCH_sparse)
+    — blocks are too short to amortise.  ``fastest_engine`` therefore
+    routes by size: :data:`SPARSE_SEQUENTIAL_CROSSOVER` (30k nodes) and
+    up go to the sparse engine, below stays on
+    :class:`~repro.engine.sequential.SequentialEngine`.  A compiled
+    tick kernel (``REPRO_KERNEL`` — :mod:`repro.core.hazard_kernel`)
+    accelerates *both* routes through the shared
+    :func:`~repro.core.hazard.apply_hazard_free` entry point, and both
+    engines remain law-exact, so the crossover only tunes the numpy
+    fallback's constant factors.  The continuous model keeps the sparse
+    engine at every ``n``: its alternative is the per-event queue of
+    :class:`~repro.engine.continuous.ContinuousEngine`, which is slower
+    at any size.
+
+The ensemble rows accept a ``backend=`` parameter (forwarded to the
+:mod:`repro.engine.ensemble` constructors) selecting the count-array
+backend of :mod:`repro.core.backend`; the default follows
+``REPRO_BACKEND`` (numpy unless overridden).
 
 When *n_reps* asks for more than one replication, the counts-level
 rows of the table are additionally lifted to their ensemble twins
@@ -40,6 +66,7 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
+from ..core.backend import ArrayBackend
 from ..core.exceptions import ConfigurationError
 from ..graphs.topology import Topology
 from ..protocols.base import (
@@ -62,9 +89,14 @@ from .sequential import SequentialEngine
 from .sparse_async import SparseContinuousEngine, SparseSequentialEngine
 from .synchronous import SynchronousEngine
 
-__all__ = ["fastest_engine"]
+__all__ = ["fastest_engine", "SPARSE_SEQUENTIAL_CROSSOVER"]
 
 AnyProtocol = Union[SynchronousProtocol, CountsProtocol, SequentialProtocol, SequentialCountsProtocol]
+
+#: node count from which the hazard-batched sparse engine beats the
+#: zip-apply hooks path in the sequential model (see the crossover note
+#: above; calibrated by benchmarks/bench_sparse.py's mixed-phase rows).
+SPARSE_SEQUENTIAL_CROSSOVER = 30_000
 
 
 def fastest_engine(
@@ -73,6 +105,7 @@ def fastest_engine(
     model: str = "sequential",
     delay_model: Optional[DelayModel] = None,
     n_reps: int = 1,
+    backend: Union[None, str, ArrayBackend] = None,
 ):
     """Build the fastest exact engine for *protocol* on *topology*.
 
@@ -97,6 +130,11 @@ def fastest_engine(
         ``run``) when an exact ensemble form exists; otherwise the
         single-run engine is returned and the caller loops — use
         :func:`repro.engine.ensemble.run_replicated` to not care which.
+    backend:
+        Count-array backend for the ensemble engines (a name, an
+        :class:`~repro.core.backend.ArrayBackend`, or ``None`` for the
+        ``REPRO_BACKEND`` selection).  Ignored by non-ensemble routes,
+        which have no ``(R, k)`` count matrices.
 
     Returns
     -------
@@ -118,7 +156,7 @@ def fastest_engine(
             if not on_complete:
                 raise ConfigurationError(f"{protocol.name} is counts-level and needs K_n")
             if ensemble and isinstance(protocol, EnsembleCountsProtocol):
-                return EnsembleCountsEngine(protocol)
+                return EnsembleCountsEngine(protocol, backend=backend)
             return CountsEngine(protocol)
         if isinstance(protocol, SynchronousProtocol):
             return SynchronousEngine(protocol, topology)
@@ -133,18 +171,25 @@ def fastest_engine(
     if model == "sequential" and not zero_delay:
         raise ConfigurationError("response delays require the continuous model")
     if ensemble:
-        counts_engine_cls = (
+        ensemble_cls = (
             EnsembleCountsSequentialEngine if model == "sequential" else EnsembleCountsContinuousEngine
         )
+
+        def counts_engine(p):
+            return ensemble_cls(p, backend=backend)
+
     else:
-        counts_engine_cls = CountsSequentialEngine if model == "sequential" else CountsContinuousEngine
+        single_cls = CountsSequentialEngine if model == "sequential" else CountsContinuousEngine
+
+        def counts_engine(p):
+            return single_cls(p)
 
     if isinstance(protocol, SequentialCountsProtocol):
         if not on_complete:
             raise ConfigurationError(f"{protocol.name} is counts-level and needs K_n")
         if not zero_delay:
             raise ConfigurationError("counts-level tick protocols cannot simulate response delays")
-        return counts_engine_cls(protocol)
+        return counts_engine(protocol)
 
     if not isinstance(protocol, SequentialProtocol):
         raise ConfigurationError(f"{protocol.name} does not implement the {model} model")
@@ -152,16 +197,21 @@ def fastest_engine(
     if zero_delay and on_complete:
         companion = protocol.as_sequential_counts()
         if companion is not None:
-            return counts_engine_cls(companion)
+            return counts_engine(companion)
 
     footprint = protocol.tick_footprint
     if zero_delay and not on_complete and footprint is not None and footprint.writes_self_only:
         # Off K_n with presampleable self-writing ticks: the hazard-
         # batched engines (law-exact, see repro.engine.sparse_async).
-        # They have no ensemble form; run_replicated loops them.
+        # They have no ensemble form; run_replicated reuses their
+        # scratch buffers across replications.
         if model == "continuous":
             return SparseContinuousEngine(protocol, topology)
-        return SparseSequentialEngine(protocol, topology)
+        if topology.n >= SPARSE_SEQUENTIAL_CROSSOVER:
+            return SparseSequentialEngine(protocol, topology)
+        # Below the crossover the zip-apply hooks path is faster in the
+        # mixed phase (see the crossover note above); it shares the
+        # hazard/kernel core, so exactness is unaffected.
 
     if model == "continuous":
         return ContinuousEngine(protocol, topology, delay_model=delay_model)

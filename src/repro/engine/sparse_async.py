@@ -63,15 +63,16 @@ batch core, wall-clock time advanced by the superposition property
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import List, Optional, Union
 
 import numpy as np
 
 from ..core.colors import ColorConfiguration
 from ..core.exceptions import ConfigurationError
 from ..core.hazard import HazardScratch, apply_hazard_free
+from ..core.hazard_kernel import kernel_for
 from ..core.results import RunResult, Trace
-from ..core.rng import SeedLike, as_generator
+from ..core.rng import SeedLike, as_generator, spawn_seed_sequences
 from ..graphs.topology import Topology
 from ..protocols.base import SequentialProtocol
 from .base import StopCondition, build_result, consensus_reached, materialize_initial
@@ -132,6 +133,11 @@ class _SparseTickEngine:
         self.protocol = protocol
         self.topology = topology
         self.block_ticks = block_ticks
+        # Scratch (first-writer stamps, reads matrix) is sized by the
+        # state, which is fixed by the topology — cache it on the
+        # engine so repeated runs (`run_replicated` in particular)
+        # reuse the buffers instead of reallocating per replication.
+        self._scratch: Optional[HazardScratch] = None
 
     def _setup(self, initial, rng):
         colors, k = materialize_initial(initial, rng)
@@ -142,7 +148,38 @@ class _SparseTickEngine:
             )
         state = self.protocol.make_state(colors, k)
         block = self.block_ticks if self.block_ticks is not None else _default_block(n)
-        return state, n, block, HazardScratch(n)
+        scratch = self._scratch
+        if scratch is None or scratch.n != state.n:
+            scratch = HazardScratch(state.n)
+            self._scratch = scratch
+        # Resolve the compiled-kernel choice (REPRO_KERNEL) once per
+        # run; ``None`` is the numpy hazard path.  Either way the block
+        # application is bit-identical on the same draws — see
+        # repro.core.hazard_kernel — so this trades wall-clock only.
+        return state, n, block, scratch, kernel_for(self.protocol)
+
+    def run_replicated(
+        self,
+        initial: Union[ColorConfiguration, np.ndarray],
+        n_reps: int,
+        seed: SeedLike = None,
+        **run_kwargs,
+    ) -> List[RunResult]:
+        """Collect *n_reps* independent runs, reusing engine buffers.
+
+        Seeding is identical to the looped fallback of
+        :func:`repro.engine.ensemble.run_replicated` (trial *i* runs on
+        child *i* of ``SeedSequence(master).spawn``), so results are
+        value-for-value the same as looping ``run`` by hand; the only
+        difference is that the hazard scratch and presample buffers are
+        allocated once and reused across replications.
+        """
+        if n_reps < 1:
+            raise ConfigurationError(f"n_reps must be positive, got {n_reps}")
+        return [
+            self.run(initial, seed=child, **run_kwargs)
+            for child in spawn_seed_sequences(seed, n_reps)
+        ]
 
 
 class SparseSequentialEngine(_SparseTickEngine):
@@ -165,7 +202,7 @@ class SparseSequentialEngine(_SparseTickEngine):
         cadences); only wall-clock time differs.
         """
         rng = as_generator(seed)
-        state, n, block_size, scratch = self._setup(initial, rng)
+        state, n, block_size, scratch, kernel = self._setup(initial, rng)
         if max_ticks is None:
             max_ticks = int(50 * n * max(np.log(n), 1.0))
         if check_every is None:
@@ -194,7 +231,7 @@ class SparseSequentialEngine(_SparseTickEngine):
                 block = min(block, next_trace - ticks)
             nodes = rng.integers(0, n, size=block)
             targets = topology.sample_neighbors_block(nodes, samples, rng)
-            cuts = apply_hazard_free(protocol, state, nodes, targets, scratch)
+            cuts = apply_hazard_free(protocol, state, nodes, targets, scratch, kernel=kernel)
             if self.block_ticks is None:
                 block_size = _adapt_block(block_size, cuts)
             ticks += block
@@ -251,7 +288,7 @@ class SparseContinuousEngine(_SparseTickEngine):
         tick landing at or after *max_time* is not applied.
         """
         rng = as_generator(seed)
-        state, n, block_size, scratch = self._setup(initial, rng)
+        state, n, block_size, scratch, kernel = self._setup(initial, rng)
         if max_time is None:
             max_time = 50.0 * max(np.log(n), 1.0)
         if check_every is None:
@@ -292,7 +329,7 @@ class SparseContinuousEngine(_SparseTickEngine):
                 time = float(tick_times[-1])
             if len(nodes):
                 targets = topology.sample_neighbors_block(nodes, samples, rng)
-                cuts = apply_hazard_free(protocol, state, nodes, targets, scratch)
+                cuts = apply_hazard_free(protocol, state, nodes, targets, scratch, kernel=kernel)
                 if self.block_ticks is None:
                     block_size = _adapt_block(block_size, cuts)
             ticks += len(nodes)

@@ -226,6 +226,16 @@ class SequentialProtocol(ABC):
     #: fast paths then fall back to :meth:`seq_tick_batch_loop`).
     tick_footprint: Optional[TickFootprint] = None
 
+    #: name of a compiled tick rule in :mod:`repro.core.hazard_kernel`
+    #: (``RULE_IDS``), or ``None`` when no compiled form exists.  Naming
+    #: a rule asserts that the rule is *semantically identical* to
+    #: :meth:`tick_apply` — the compiled kernels run it one tick at a
+    #: time, so a correct declaration is bit-identical to the Python
+    #: loop by construction.  Only consulted when ``REPRO_KERNEL``
+    #: activates a compiled kernel; the footprint's sample count is
+    #: cross-checked before the kernel engages.
+    tick_kernel: Optional[str] = None
+
     def make_state(self, colors: np.ndarray, k: int) -> NodeArrayState:
         """Build the state object this protocol operates on."""
         return NodeArrayState(colors=np.asarray(colors, dtype=np.int64), k=k)

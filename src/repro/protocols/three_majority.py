@@ -142,6 +142,7 @@ class ThreeMajoritySequential(SequentialProtocol):
     # Three state-independent uniform samples; always adopts one of
     # them, so the actor's own colour is never read.
     tick_footprint = TickFootprint(samples=3, reads_own=False)
+    tick_kernel = "three-majority"
 
     def tick_targets(self, state: NodeArrayState, node: int, topology: Topology, rng: np.random.Generator) -> np.ndarray:
         return topology.sample_neighbors(node, 3, rng)

@@ -160,6 +160,7 @@ class TwoChoicesSequential(SequentialProtocol):
     # Two state-independent uniform samples; writes only the acting
     # node; the decision never reads the actor's own colour.
     tick_footprint = TickFootprint(samples=2, reads_own=False)
+    tick_kernel = "two-choices"
 
     def tick_targets(self, state: NodeArrayState, node: int, topology: Topology, rng: np.random.Generator) -> np.ndarray:
         return topology.sample_neighbors(node, 2, rng)

@@ -181,6 +181,7 @@ class UndecidedStateSequential(SequentialProtocol):
     # One state-independent uniform sample; the update also reads the
     # acting node's own colour (decided vs undecided branch).
     tick_footprint = TickFootprint(samples=1, reads_own=True)
+    tick_kernel = "undecided-state"
 
     def make_state(self, colors: np.ndarray, k: int) -> NodeArrayState:
         return _make_state_with_undecided(colors, k)

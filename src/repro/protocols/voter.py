@@ -100,6 +100,7 @@ class VoterSequential(SequentialProtocol):
     name = "voter/seq"
     # One state-independent uniform sample; adopts it unconditionally.
     tick_footprint = TickFootprint(samples=1, reads_own=False)
+    tick_kernel = "voter"
 
     def tick_targets(self, state: NodeArrayState, node: int, topology: Topology, rng: np.random.Generator) -> np.ndarray:
         return topology.sample_neighbors(node, 1, rng)

@@ -337,7 +337,10 @@ class TestSimulateSurface:
         with pytest.raises(ConfigurationError, match="SimulationSpec"):
             simulate({"protocol": "voter", "n": 10})
 
-    def test_sparse_topology_routes_hazard_batched_engine(self):
+    def test_sparse_topology_routes_by_size_crossover(self):
+        # Below the dispatch crossover the zip-apply hooks engine wins
+        # on sparse topologies; the hazard-batched engine takes over
+        # from SPARSE_SEQUENTIAL_CROSSOVER nodes (see engine/dispatch).
         spec = SimulationSpec(
             protocol="voter",
             n=32,
@@ -350,7 +353,7 @@ class TestSimulateSurface:
             max_steps=3000,
         )
         sim = simulate(spec)
-        assert sim.engine == "SparseSequentialEngine"
+        assert sim.engine == "SequentialEngine"
         assert sim.reps == 2
 
     def test_sparse_synchronous_uses_agent_realisation(self):

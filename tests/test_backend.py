@@ -1,0 +1,247 @@
+"""Pluggable ensemble array backends: selection and exactness.
+
+Evidence layers for the backend contract (see
+``repro/core/backend.py``):
+
+1. *Selection*: ``REPRO_BACKEND`` resolution — default numpy, invalid
+   values, the degrade-with-warning path when an explicit env choice is
+   unavailable, and the raise-don't-degrade behaviour of programmatic
+   ``backend=`` requests.
+2. *Numpy pass-through*: the numpy backend's methods alias the plain
+   numpy calls, so ensemble engines built with an explicit numpy
+   backend replay the default engines bit-for-bit (R = 1 and R > 1).
+3. *CuPy law*: device results follow the same per-replication law as
+   numpy (same host generator stream).  KS-checked — and auto-skipped,
+   loudly, wherever no CUDA device is visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import backend as backend_mod
+from repro.core.backend import (
+    BACKEND_ENV,
+    BACKEND_NAMES,
+    ArrayBackend,
+    BackendUnavailable,
+    NumpyBackend,
+    active_backend,
+    active_backend_name,
+    available_backends,
+    get_backend,
+    resolve_backend,
+    reset_active_backend,
+)
+from repro.core.colors import ColorConfiguration
+from repro.core.exceptions import ConfigurationError
+from repro.engine import (
+    EnsembleCountsContinuousEngine,
+    EnsembleCountsEngine,
+    EnsembleCountsSequentialEngine,
+)
+from repro.protocols import TwoChoicesCounts, TwoChoicesSequentialCounts
+
+CONFIG = ColorConfiguration([70, 40, 20])
+
+CUPY_AVAILABLE = available_backends()["cupy"].available
+
+needs_gpu = pytest.mark.skipif(
+    not CUPY_AVAILABLE,
+    reason="SKIPPED LOUDLY: cupy backend unavailable (not installed or no CUDA "
+    "device) — numpy law coverage still runs",
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_backend_env(monkeypatch):
+    """Every test starts unresolved with no ``REPRO_BACKEND`` set."""
+    monkeypatch.delenv(BACKEND_ENV, raising=False)
+    reset_active_backend()
+    yield
+    reset_active_backend()
+
+
+def _fail_builders(monkeypatch, detail="stubbed away"):
+    """Make every accelerator backend unavailable (fresh caches)."""
+
+    def refuse():
+        raise BackendUnavailable(detail)
+
+    monkeypatch.setattr(backend_mod, "_backends", {})
+    monkeypatch.setattr(backend_mod, "_failures", {})
+    monkeypatch.setattr(
+        backend_mod,
+        "_BUILDERS",
+        {
+            name: (builder if name == "numpy" else refuse)
+            for name, builder in backend_mod._BUILDERS.items()
+        },
+    )
+
+
+class TestSelection:
+    def test_default_is_numpy(self):
+        assert isinstance(active_backend(), NumpyBackend)
+        assert active_backend_name() == "numpy"
+
+    def test_invalid_name_raises(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "tpu")
+        reset_active_backend()
+        with pytest.raises(ConfigurationError, match="REPRO_BACKEND"):
+            active_backend()
+
+    def test_unknown_get_backend_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            get_backend("tpu")
+
+    def test_env_unavailable_warns_and_degrades(self, monkeypatch):
+        _fail_builders(monkeypatch, detail="no device here")
+        monkeypatch.setenv(BACKEND_ENV, "cupy")
+        reset_active_backend()
+        with pytest.warns(RuntimeWarning, match="no device here"):
+            backend = active_backend()
+        assert isinstance(backend, NumpyBackend)
+
+    def test_auto_degrades_to_numpy_silently(self, monkeypatch):
+        _fail_builders(monkeypatch)
+        assert isinstance(get_backend("auto"), NumpyBackend)
+        monkeypatch.setenv(BACKEND_ENV, "auto")
+        reset_active_backend()
+        assert active_backend_name() == "numpy"
+
+    def test_programmatic_unavailable_raises_not_degrades(self, monkeypatch):
+        # An explicit backend= request must not silently fall back —
+        # only the env-var route degrades (with a warning).
+        _fail_builders(monkeypatch)
+        with pytest.raises(BackendUnavailable):
+            resolve_backend("cupy")
+        with pytest.raises(BackendUnavailable):
+            EnsembleCountsEngine(TwoChoicesCounts(), backend="cupy")
+
+    def test_resolve_backend_passthrough(self):
+        backend = NumpyBackend()
+        assert resolve_backend(backend) is backend
+        assert isinstance(resolve_backend(None), NumpyBackend)
+        assert isinstance(resolve_backend("numpy"), NumpyBackend)
+
+    def test_resolution_is_cached_until_reset(self, monkeypatch):
+        assert active_backend_name() == "numpy"
+        monkeypatch.setenv(BACKEND_ENV, "definitely-invalid")
+        assert active_backend_name() == "numpy"  # still cached
+        reset_active_backend()
+        with pytest.raises(ConfigurationError):
+            active_backend()
+
+    def test_probe_always_lists_numpy(self):
+        probes = available_backends()
+        assert probes["numpy"].available
+        assert set(probes) == {"numpy", "cupy"}
+        assert set(BACKEND_NAMES) == {"numpy", "cupy", "auto"}
+
+
+class TestNumpyPassThrough:
+    """The numpy backend is the identity seam: nothing may change."""
+
+    def test_draws_alias_the_generator_calls(self):
+        backend = NumpyBackend()
+        a, b = np.random.default_rng(5), np.random.default_rng(5)
+        assert np.array_equal(
+            backend.multinomial(a, 10, [0.2, 0.3, 0.5]), b.multinomial(10, [0.2, 0.3, 0.5])
+        )
+        assert np.array_equal(backend.binomial(a, 20, 0.25), b.binomial(20, 0.25))
+        assert np.array_equal(backend.gamma(a, 3.0), b.gamma(3.0))
+
+    def test_to_host_is_identity(self):
+        backend = NumpyBackend()
+        matrix = np.arange(6).reshape(2, 3)
+        assert backend.to_host(matrix) is matrix
+
+    def _fingerprint(self, results):
+        return [
+            (r.converged, r.rounds, r.parallel_time, r.final.counts, r.winner) for r in results
+        ]
+
+    @pytest.mark.parametrize("n_reps", [1, 16])
+    def test_sync_ensemble_value_identical(self, n_reps):
+        default = EnsembleCountsEngine(TwoChoicesCounts()).run_ensemble(
+            CONFIG, n_reps, max_rounds=5000, seed=7
+        )
+        explicit = EnsembleCountsEngine(TwoChoicesCounts(), backend="numpy").run_ensemble(
+            CONFIG, n_reps, max_rounds=5000, seed=7
+        )
+        assert self._fingerprint(default) == self._fingerprint(explicit)
+
+    @pytest.mark.parametrize(
+        "engine_cls", [EnsembleCountsSequentialEngine, EnsembleCountsContinuousEngine]
+    )
+    def test_tick_ensembles_value_identical(self, engine_cls):
+        default = engine_cls(TwoChoicesSequentialCounts()).run_ensemble(CONFIG, 8, seed=13)
+        explicit = engine_cls(TwoChoicesSequentialCounts(), backend="numpy").run_ensemble(
+            CONFIG, 8, seed=13
+        )
+        assert self._fingerprint(default) == self._fingerprint(explicit)
+
+    def test_engine_accepts_backend_instance(self):
+        backend = NumpyBackend()
+        engine = EnsembleCountsEngine(TwoChoicesCounts(), backend=backend)
+        assert engine.backend is backend
+
+
+class _RecordingBackend(NumpyBackend):
+    """Numpy semantics, but counts how the engines use the seam."""
+
+    name = "recording"
+
+    def __init__(self):
+        self.calls = []
+
+    def asarray(self, a, dtype=None):
+        self.calls.append("asarray")
+        return super().asarray(a, dtype=dtype)
+
+    def to_host(self, a):
+        self.calls.append("to_host")
+        return super().to_host(a)
+
+    def multinomial(self, rng, n, pvals):
+        self.calls.append("multinomial")
+        return super().multinomial(rng, n, pvals)
+
+
+class TestSeamIsExercised:
+    def test_ensemble_routes_arrays_through_backend(self):
+        backend = _RecordingBackend()
+        EnsembleCountsSequentialEngine(TwoChoicesSequentialCounts(), backend=backend).run_ensemble(
+            CONFIG, 4, seed=3
+        )
+        assert "asarray" in backend.calls
+        assert "to_host" in backend.calls
+        assert "multinomial" in backend.calls
+
+
+@needs_gpu
+class TestCupyLaw:
+    """Device backend: same host stream, same law — KS-pinned."""
+
+    def test_round_trip(self):
+        backend = get_backend("cupy")
+        matrix = np.arange(6, dtype=np.int64).reshape(2, 3)
+        shipped = backend.asarray(matrix)
+        assert np.array_equal(backend.to_host(shipped), matrix)
+
+    def test_convergence_time_law_matches_numpy(self):
+        from repro.analysis.statistics import ks_permutation_test
+
+        reps = 64
+        numpy_runs = EnsembleCountsSequentialEngine(
+            TwoChoicesSequentialCounts(), backend="numpy"
+        ).run_ensemble(CONFIG, reps, seed=29)
+        cupy_runs = EnsembleCountsSequentialEngine(
+            TwoChoicesSequentialCounts(), backend="cupy"
+        ).run_ensemble(CONFIG, reps, seed=31)
+        statistic, p_value = ks_permutation_test(
+            [r.parallel_time for r in numpy_runs],
+            [r.parallel_time for r in cupy_runs],
+            seed=5,
+        )
+        assert p_value >= 0.01, (statistic, p_value)

@@ -250,8 +250,13 @@ class TestDispatch:
         engine = fastest_engine(TwoChoicesSequentialCounts(), CompleteGraph(100))
         assert isinstance(engine, CountsSequentialEngine)
 
-    def test_sparse_topology_routes_hazard_batched_engine(self):
+    def test_sparse_topology_routes_by_size_crossover(self):
+        # Small sparse topologies stay on the zip-apply hooks engine;
+        # the hazard-batched engine engages from the dispatch crossover
+        # (full table: tests/test_dispatch_routing.py).
         engine = fastest_engine(TwoChoicesSequential(), hypercube(5), model="sequential")
+        assert isinstance(engine, SequentialEngine)
+        engine = fastest_engine(TwoChoicesSequential(), hypercube(15), model="sequential")
         assert isinstance(engine, SparseSequentialEngine)
 
     def test_protocol_without_companion_falls_back(self):

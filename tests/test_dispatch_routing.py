@@ -20,6 +20,7 @@ from repro.engine.ensemble import (
     EnsembleCountsEngine,
     EnsembleCountsSequentialEngine,
 )
+from repro.engine.dispatch import SPARSE_SEQUENTIAL_CROSSOVER
 from repro.engine.sequential import SequentialEngine
 from repro.engine.sparse_async import SparseContinuousEngine, SparseSequentialEngine
 from repro.engine.synchronous import SynchronousEngine
@@ -39,6 +40,10 @@ from repro.protocols.voter import VoterCounts, VoterSequential
 
 K_N = CompleteGraph(64)
 RING = ring(64)
+# A ring at/above the sequential-model size crossover: large enough
+# that the hazard-batched engine's block amortisation wins (CSR rings
+# are cheap to build at this size).
+BIG_RING = ring(SPARSE_SEQUENTIAL_CROSSOVER)
 
 # (case id, protocol factory, model, topology, delay, n_reps, expected engine class)
 ROUTING_TABLE = [
@@ -68,13 +73,21 @@ ROUTING_TABLE = [
     # ... and counts tick protocols route there directly.
     ("seq-counts/K_n/1", TwoChoicesSequentialCounts, "sequential", K_N, None, 1, CountsSequentialEngine),
     ("seq-counts/K_n/R", TwoChoicesSequentialCounts, "sequential", K_N, None, 8, EnsembleCountsSequentialEngine),
-    # Off K_n a declared tick footprint routes to the hazard-batched
-    # engine (a single-run engine: run_replicated loops it for reps).
-    ("seq/ring/1", TwoChoicesSequential, "sequential", RING, None, 1, SparseSequentialEngine),
-    ("seq/ring/R", TwoChoicesSequential, "sequential", RING, None, 8, SparseSequentialEngine),
-    ("seq-voter/ring/1", VoterSequential, "sequential", RING, None, 1, SparseSequentialEngine),
-    ("seq-3maj/ring/1", ThreeMajoritySequential, "sequential", RING, None, 1, SparseSequentialEngine),
-    ("seq-usd/ring/1", UndecidedStateSequential, "sequential", RING, None, 1, SparseSequentialEngine),
+    # Off K_n a declared tick footprint routes by size: below the
+    # crossover the zip-apply hooks path of SequentialEngine wins the
+    # mixed phase, from the crossover up the hazard-batched engine's
+    # block amortisation wins (see the dispatch crossover note).  Both
+    # are single-run engines; run_replicated handles reps.
+    ("seq/ring/1", TwoChoicesSequential, "sequential", RING, None, 1, SequentialEngine),
+    ("seq/ring/R", TwoChoicesSequential, "sequential", RING, None, 8, SequentialEngine),
+    ("seq-voter/ring/1", VoterSequential, "sequential", RING, None, 1, SequentialEngine),
+    ("seq-3maj/ring/1", ThreeMajoritySequential, "sequential", RING, None, 1, SequentialEngine),
+    ("seq-usd/ring/1", UndecidedStateSequential, "sequential", RING, None, 1, SequentialEngine),
+    ("seq/big-ring/1", TwoChoicesSequential, "sequential", BIG_RING, None, 1, SparseSequentialEngine),
+    ("seq/big-ring/R", TwoChoicesSequential, "sequential", BIG_RING, None, 8, SparseSequentialEngine),
+    ("seq-voter/big-ring/1", VoterSequential, "sequential", BIG_RING, None, 1, SparseSequentialEngine),
+    ("seq-3maj/big-ring/1", ThreeMajoritySequential, "sequential", BIG_RING, None, 1, SparseSequentialEngine),
+    ("seq-usd/big-ring/1", UndecidedStateSequential, "sequential", BIG_RING, None, 1, SparseSequentialEngine),
     # No footprint (phase-dependent sampling): the per-tick reference
     # engine remains the only exact option off K_n.
     ("seq-async-plurality/ring/1", AsyncPluralityProtocol, "sequential", RING, None, 1, SequentialEngine),

@@ -312,7 +312,7 @@ class TestDispatchAndRouting:
             CountsEngine,
         )
         assert isinstance(
-            fastest_engine(TwoChoicesSequential(), hypercube(5), model="sequential", n_reps=10),
+            fastest_engine(TwoChoicesSequential(), hypercube(15), model="sequential", n_reps=10),
             SparseSequentialEngine,
         )
         assert isinstance(

@@ -499,7 +499,11 @@ class TestDispatchIntegration:
             max_steps=64 * 4000,
         )
         sim = simulate(spec)
-        assert sim.engine == "SparseSequentialEngine"
+        # n=64 sits below the dispatch size crossover, so the spec
+        # resolves to the zip-apply hooks engine (the sparse engine
+        # engages from SPARSE_SEQUENTIAL_CROSSOVER nodes — routing
+        # table: tests/test_dispatch_routing.py).
+        assert sim.engine == "SequentialEngine"
         assert sim.reps == 3
         assert all(run.converged for run in sim.runs)
 
