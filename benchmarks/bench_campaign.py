@@ -45,6 +45,7 @@ except ImportError:  # direct script invocation without PYTHONPATH=src
     sys.path.insert(0, str(ROOT / "src"))
 
 from repro.api import CampaignSpec, SimulationSpec, SweepSpec, run_campaign  # noqa: E402
+from repro.bench.store import warn_skipped_criterion  # noqa: E402
 from repro.workloads.sweeps import log_spaced_ints  # noqa: E402
 
 WORKERS = 4
@@ -135,6 +136,14 @@ def assert_criteria(payload: dict) -> None:
     assert criteria["warm_replay_ok"], criteria
     if criteria["process_speedup_applicable"]:
         assert criteria["process_speedup_ok"], criteria
+    else:
+        warn_skipped_criterion(
+            "process_speedup_vs_serial",
+            f"cpu_count={payload['environment']['cpu_count']} < "
+            f"{criteria['process_workers']} process workers on this machine "
+            f"(measured {criteria['process_speedup_vs_serial']:.2f}x, "
+            f"target {criteria['process_speedup_target']}x)",
+        )
 
 
 def format_payload(payload: dict) -> str:

@@ -1,0 +1,282 @@
+"""Distributed-executor perf benchmark (no experiment id — pure wall clock).
+
+Times the same CPU-bound campaign grid as ``bench_campaign.py``
+(asynchronous Two-Choices on ``K_n`` through the ensemble counts fast
+path, 12 points with ``n`` log-spaced up to ``1e8``) against the socket
+coordinator and persists the payload to ``BENCH_distributed.json`` at
+the repo root:
+
+* ``serial``      — ``run_campaign(executor="serial")``, cold, the
+  baseline;
+* ``distributed`` — 4 localhost ``repro worker`` subprocesses pulling
+  from a :class:`~repro.api.DistributedExecutor`, cold, populating a
+  fresh cache directory (worker *startup* happens before the timer —
+  the criterion measures steady-state dispatch, not Python import
+  time);
+* ``warm``        — the campaign replayed serially against the cache
+  the *distributed* leg populated (zero engine runs proves the
+  coordinator persisted every point as it landed);
+* ``kill``        — the distributed leg again, but one worker is
+  SIGKILLed as soon as the third result lands; the survivors absorb
+  the requeued leases and the campaign must still complete.
+
+Acceptance criteria (ISSUE 7): with 4 localhost workers the grid runs
+>= 2x faster than serial wall-clock — asserted wherever the machine
+actually has >= 4 CPUs (``speedup_applicable``; smaller boxes record
+the measurement and emit a loud ``::warning``) — and every leg is
+value-for-value identical to serial (asserted unconditionally,
+including the worker-kill leg and the warm replay).
+
+Usage::
+
+    pytest benchmarks/bench_distributed.py --benchmark-only             # quick
+    REPRO_BENCH_SCALE=full pytest benchmarks/bench_distributed.py --benchmark-only
+    python benchmarks/bench_distributed.py [--quick] [--workers N] [--out PATH]
+"""
+
+import argparse
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).parent.parent
+OUT_PATH = ROOT / "BENCH_distributed.json"
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # direct script invocation without PYTHONPATH=src
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.api import (  # noqa: E402
+    CampaignSpec,
+    DistributedExecutor,
+    SimulationSpec,
+    SweepSpec,
+    run_campaign,
+)
+from repro.bench.store import (  # noqa: E402
+    bench_environment,
+    save_bench_payload,
+    warn_skipped_criterion,
+)
+from repro.workloads.sweeps import log_spaced_ints  # noqa: E402
+
+WORKERS = 4
+SPEEDUP_TARGET = 2.0
+KILL_AFTER_RESULTS = 3
+
+QUICK_GRID = {"low": 10_000_000, "high": 100_000_000, "points": 12, "reps": 4}
+FULL_GRID = {"low": 10_000_000, "high": 100_000_000, "points": 12, "reps": 8}
+
+#: Workers are spawned (and given this long to finish importing Python)
+#: before the distributed timer starts, so the speedup criterion
+#: measures dispatch throughput rather than interpreter start-up.
+WORKER_WARMUP_SECONDS = 2.0
+
+
+def _campaign(grid) -> CampaignSpec:
+    ns = log_spaced_ints(grid["low"], grid["high"], grid["points"])
+    base = SimulationSpec(protocol="two-choices", n=ns[0], reps=grid["reps"])
+    return CampaignSpec(
+        base=base, sweep=SweepSpec(axes={"n": ns}), seed=20170725, name="bench-distributed"
+    )
+
+
+def _deterministic(result):
+    payload = result.to_dict()
+    del payload["execution"]
+    return payload
+
+
+def _spawn_workers(executor, count, connect_retry=120.0):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "worker",
+        "--connect",
+        f"{executor.host}:{executor.port}",
+        "--connect-retry",
+        f"{connect_retry:.0f}",
+    ]
+    return [
+        subprocess.Popen(
+            command, env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+        )
+        for _ in range(count)
+    ]
+
+
+def _reap(procs):
+    for proc in procs:
+        try:
+            proc.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=60)
+
+
+def benchmark_distributed(quick: bool = False, workers: int = WORKERS) -> dict:
+    """Run the four-leg comparison and return the JSON payload."""
+    grid = QUICK_GRID if quick else FULL_GRID
+    campaign = _campaign(grid)
+    cpu_count = os.cpu_count() or 1
+
+    start = time.perf_counter()
+    serial = run_campaign(campaign, executor="serial")
+    serial_seconds = time.perf_counter() - start
+
+    # -- distributed cold + warm replay from its cache ------------------
+    with tempfile.TemporaryDirectory(prefix="bench-distributed-") as cache_dir:
+        with DistributedExecutor(lease_timeout=60.0) as executor:
+            procs = _spawn_workers(executor, workers)
+            time.sleep(WORKER_WARMUP_SECONDS)
+            start = time.perf_counter()
+            distributed = run_campaign(campaign, executor=executor, cache=cache_dir)
+            distributed_seconds = time.perf_counter() - start
+            _reap(procs)  # clean shutdown frames were sent at batch end
+            distributed_stats = dict(executor.last_stats)
+
+        start = time.perf_counter()
+        warm = run_campaign(campaign, cache=cache_dir)
+        warm_seconds = time.perf_counter() - start
+
+    # -- worker-kill leg ------------------------------------------------
+    with DistributedExecutor(lease_timeout=60.0) as executor:
+        procs = _spawn_workers(executor, workers)
+        landed = {"count": 0, "killed": False}
+        lock = threading.Lock()
+
+        def kill_one(position, payload):
+            with lock:
+                landed["count"] += 1
+                if landed["count"] == KILL_AFTER_RESULTS and not landed["killed"]:
+                    landed["killed"] = True
+                    procs[0].kill()
+
+        executor.progress_hook = kill_one
+        time.sleep(WORKER_WARMUP_SECONDS)
+        start = time.perf_counter()
+        killed_run = run_campaign(campaign, executor=executor)
+        kill_seconds = time.perf_counter() - start
+        _reap(procs)
+        kill_stats = dict(executor.last_stats)
+
+    serial_payload = _deterministic(serial)
+    identical = serial_payload == _deterministic(distributed) == _deterministic(warm)
+    kill_identical = serial_payload == _deterministic(killed_run)
+    speedup = serial_seconds / distributed_seconds if distributed_seconds > 0 else float("inf")
+    return {
+        "benchmark": "distributed executor: serial vs localhost workers, plus a worker-kill leg",
+        "workload": {
+            "protocol": "two-choices",
+            "model": "sequential",
+            "initial": "benchmark-split",
+            "ns": [int(n) for n in campaign.sweep.axes["n"]],
+            "reps_per_point": grid["reps"],
+            "points": campaign.size,
+            "campaign_seed": campaign.seed,
+        },
+        "timings": {
+            "serial_cold_seconds": serial_seconds,
+            "distributed_cold_seconds": distributed_seconds,
+            "warm_replay_seconds": warm_seconds,
+            "kill_leg_seconds": kill_seconds,
+        },
+        "distributed_stats": distributed_stats,
+        "kill_leg_stats": kill_stats,
+        "criteria": {
+            "distributed_identity_ok": identical,
+            "warm_engine_runs": warm.engine_runs,
+            "warm_replay_ok": warm.engine_runs == 0,
+            "workers": workers,
+            "speedup_vs_serial": speedup,
+            "speedup_target": SPEEDUP_TARGET,
+            "speedup_applicable": cpu_count >= workers,
+            "speedup_ok": speedup >= SPEEDUP_TARGET,
+            "kill_identity_ok": kill_identical,
+            "worker_killed_mid_campaign": landed["killed"],
+        },
+        "environment": {
+            **bench_environment(),
+            "platform": platform.platform(),
+            "cpu_count": cpu_count,
+        },
+    }
+
+
+def assert_criteria(payload: dict) -> None:
+    """The acceptance gates; speedup asserts only where it can hold."""
+    criteria = payload["criteria"]
+    assert criteria["distributed_identity_ok"], "serial/distributed/warm results diverged"
+    assert criteria["kill_identity_ok"], "worker-kill leg diverged from serial"
+    assert criteria["worker_killed_mid_campaign"], "kill leg finished before the kill fired"
+    assert criteria["warm_replay_ok"], criteria
+    if criteria["speedup_applicable"]:
+        assert criteria["speedup_ok"], criteria
+    else:
+        warn_skipped_criterion(
+            "distributed_speedup_vs_serial",
+            f"cpu_count={payload['environment']['cpu_count']} < "
+            f"{criteria['workers']} localhost workers on this machine "
+            f"(measured {criteria['speedup_vs_serial']:.2f}x, "
+            f"target {criteria['speedup_target']}x)",
+        )
+
+
+def format_payload(payload: dict) -> str:
+    t = payload["timings"]
+    c = payload["criteria"]
+    lines = [
+        f"campaign grid: {payload['workload']['points']} points x "
+        f"{payload['workload']['reps_per_point']} reps, "
+        f"n up to {max(payload['workload']['ns']):.0e}",
+        f"serial cold        : {t['serial_cold_seconds']:.2f}s",
+        f"distributed ({c['workers']} wrk): {t['distributed_cold_seconds']:.2f}s  "
+        f"({c['speedup_vs_serial']:.2f}x vs serial; target {c['speedup_target']}x, "
+        f"{'asserted' if c['speedup_applicable'] else 'recorded only: cpu_count=' + str(payload['environment']['cpu_count'])})",
+        f"warm replay        : {t['warm_replay_seconds']:.3f}s  "
+        f"(engine runs={c['warm_engine_runs']})",
+        f"worker-kill leg    : {t['kill_leg_seconds']:.2f}s  "
+        f"(requeued={payload['kill_leg_stats'].get('requeued', 0)}, "
+        f"workers seen={payload['kill_leg_stats'].get('workers_seen', 0)})",
+        f"distributed identity: {'ok' if c['distributed_identity_ok'] else 'FAILED'}; "
+        f"kill-leg identity: {'ok' if c['kill_identity_ok'] else 'FAILED'}",
+    ]
+    return "\n".join(lines)
+
+
+def test_distributed_executor_perf(benchmark):
+    """Pytest-benchmark target: one four-leg comparison at the selected scale."""
+    quick = os.environ.get("REPRO_BENCH_SCALE") != "full"
+    payload = benchmark.pedantic(
+        benchmark_distributed, kwargs={"quick": quick}, iterations=1, rounds=1
+    )
+    print()
+    print(format_payload(payload))
+    save_bench_payload(payload, str(OUT_PATH))
+    assert_criteria(payload)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="fewer reps per point")
+    parser.add_argument("--workers", type=int, default=WORKERS)
+    parser.add_argument("--out", default=str(OUT_PATH), help="payload destination")
+    args = parser.parse_args(argv)
+    payload = benchmark_distributed(quick=args.quick, workers=args.workers)
+    print(format_payload(payload))
+    save_bench_payload(payload, args.out)
+    assert_criteria(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,6 +39,11 @@ Modules
 ``executors`` / ``cache``
     The pluggable execution backends and the persistent result cache
     behind ``run_campaign``.
+``distributed``
+    The multi-host backend: a socket coordinator
+    (:class:`DistributedExecutor`) feeding ``repro worker`` processes
+    with work-stealing, leases, and crash-tolerant resume via the
+    cache.
 """
 
 from .cache import ResultCache, spec_key
@@ -50,7 +55,8 @@ from .campaign import (
     point_seed,
     run_campaign,
 )
-from .executors import EXECUTORS, ProcessExecutor, SerialExecutor
+from .distributed import DistributedExecutor, run_worker
+from .executors import EXECUTORS, ExecutorPointError, ProcessExecutor, SerialExecutor
 from .registry import (
     DELAYS,
     INITIALS,
@@ -85,6 +91,9 @@ __all__ = [
     "EXECUTORS",
     "SerialExecutor",
     "ProcessExecutor",
+    "DistributedExecutor",
+    "ExecutorPointError",
+    "run_worker",
     "ParamSpec",
     "PROTOCOLS",
     "TOPOLOGIES",

@@ -394,8 +394,16 @@ def run_campaign(
     Parameters
     ----------
     executor:
-        ``"serial"`` (default), ``"process"``, or any object with a
+        ``"serial"`` (default), ``"process"``,
+        ``"distributed[:HOST:PORT]"``, or any object with a
         ``map_payloads`` method (see :mod:`repro.api.executors`).
+        Executors resolved here from a string are owned by this call:
+        their ``close()`` (when they define one) runs on the way out.
+        If the executor exposes a ``progress_hook`` attribute and a
+        cache is configured, the hook is pointed at the cache for the
+        duration of the run so every completed point is persisted the
+        moment it lands — even out of arrival order, which is what
+        bounds a coordinator crash to the in-flight points.
     cache:
         ``None`` (always run), a directory path, or a
         :class:`~repro.api.cache.ResultCache`.  Points already present
@@ -444,28 +452,55 @@ def run_campaign(
 
     batch = [i for i in pending if not specs[i].record_trace]
     executor_name = getattr(executor_obj, "name", type(executor_obj).__name__)
-    stream = iter(executor_obj.map_payloads([specs[i].to_dict() for i in batch]))
-    # Consume lazily and persist each payload the moment it arrives, so
-    # an interrupted campaign keeps its completed prefix in the cache
-    # and resumes from there.
-    for position, index in enumerate(batch):
-        try:
-            payload = next(stream)
-        except StopIteration:
+    hook_installed = False
+    if cache_obj is not None and hasattr(executor_obj, "progress_hook"):
+        # Executors that complete points out of order (distributed
+        # work-stealing) persist each one the moment it lands, not when
+        # the in-order stream below reaches it — a dead coordinator
+        # then loses only in-flight points.  The in-order put below
+        # still runs (identical bytes, atomic) so cache failures stay
+        # loud even if a hook write was swallowed.
+        def _persist_landed(position: int, payload: Dict[str, Any]) -> None:
+            cache_obj.put(specs[batch[position]], payload)
+
+        executor_obj.progress_hook = _persist_landed
+        hook_installed = True
+    stream = None
+    try:
+        stream = iter(executor_obj.map_payloads([specs[i].to_dict() for i in batch]))
+        # Consume lazily and persist each payload the moment it arrives,
+        # so an interrupted campaign keeps its completed prefix in the
+        # cache and resumes from there.
+        for position, index in enumerate(batch):
+            try:
+                payload = next(stream)
+            except StopIteration:
+                raise ConfigurationError(
+                    f"executor {executor_name!r} returned {position} payload(s) "
+                    f"for {len(batch)} spec(s)"
+                ) from None
+            if cache_obj is not None:
+                cache_obj.put(specs[index], payload)
+            results[index] = SimulationResult.from_dict(payload)
+        if next(stream, _STREAM_END) is not _STREAM_END:
             raise ConfigurationError(
-                f"executor {executor_name!r} returned {position} payload(s) "
-                f"for {len(batch)} spec(s)"
-            ) from None
-        if cache_obj is not None:
-            cache_obj.put(specs[index], payload)
-        results[index] = SimulationResult.from_dict(payload)
-    if next(stream, _STREAM_END) is not _STREAM_END:
-        raise ConfigurationError(
-            f"executor {executor_name!r} returned more than {len(batch)} payload(s)"
-        )
-    for index in pending:
-        if specs[index].record_trace:
-            results[index] = simulate(specs[index])
+                f"executor {executor_name!r} returned more than {len(batch)} payload(s)"
+            )
+        for index in pending:
+            if specs[index].record_trace:
+                results[index] = simulate(specs[index])
+    finally:
+        if hook_installed:
+            executor_obj.progress_hook = None
+        closer = getattr(stream, "close", None)
+        if callable(closer):
+            closer()  # unwinds a generator executor's coordinator threads
+        if isinstance(executor, str):
+            # run_campaign created this executor, so it owns the teardown
+            # (a caller-supplied object may be reused across campaigns).
+            teardown = getattr(executor_obj, "close", None)
+            if callable(teardown):
+                teardown()
 
     elapsed = time.perf_counter() - start
     points = [

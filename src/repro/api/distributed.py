@@ -1,0 +1,688 @@
+"""Distributed campaign execution: a socket coordinator + pull workers.
+
+The campaign layer already reduced every figure-scale experiment to a
+bag of independent, pre-seeded ``SimulationSpec`` payloads behind the
+``map_payloads`` executor contract (:mod:`repro.api.executors`) — the
+exact shape that scales across hosts.  This module adds the cluster
+backend without touching determinism: per-point seeds are pinned by
+:meth:`repro.api.campaign.CampaignSpec.points` *before* dispatch, so a
+distributed run is value-for-value identical to a serial one whatever
+the worker count, work distribution, or completion order.
+
+Topology
+--------
+One **coordinator** (the :class:`DistributedExecutor`, living inside
+``run_campaign``) listens on a TCP socket.  Any number of **workers**
+(``python -m repro worker --connect HOST:PORT``) dial in — before the
+campaign starts, or late, mid-campaign — and *pull* work one point at a
+time (work-stealing: an idle worker always takes the next pending
+point, so a slow worker never blocks the queue; it just ends up holding
+fewer points).
+
+Wire protocol
+-------------
+Length-prefixed JSON frames (stdlib only): a 4-byte big-endian unsigned
+length followed by a UTF-8 JSON object with a ``"type"`` field.
+
+=========== =========== ====================================================
+direction   type        body
+=========== =========== ====================================================
+worker → c  hello       ``{"worker": id, "pid": pid}`` — register
+c → worker  welcome     ``{"heartbeat": s, "lease_timeout": s}``
+worker → c  next        request one unit of work
+c → worker  task        ``{"task": index, "payload": spec_dict}``
+c → worker  wait        ``{"delay": s}`` — nothing pending *right now*
+                        (the queue may refill on a requeue; retry)
+c → worker  shutdown    campaign finished (or aborted); disconnect
+worker → c  result      ``{"task": index, "payload": result_dict}``
+worker → c  error       ``{"task": index, "message": str}``
+worker → c  heartbeat   liveness while a long point runs
+=========== =========== ====================================================
+
+Fault tolerance
+---------------
+Every dispatched point carries a **lease**: the worker must finish it,
+or keep heartbeating, within ``lease_timeout`` seconds.  A worker whose
+connection drops has its in-flight points requeued immediately; a
+worker that hangs (socket open, no heartbeat) loses its leases to the
+expiry monitor.  Duplicate results from a resurrected worker are
+ignored (they are value-identical by the seeding contract anyway).  A
+point whose worker *reports* an error is retried ``max_retries`` times
+(requeued, typically landing on a different worker) before the
+campaign aborts with the offending spec's cache key in the message.
+
+Because ``run_campaign`` persists each completed point to the
+content-addressed :class:`~repro.api.cache.ResultCache` the moment it
+lands (via the executor's ``progress_hook``, out of arrival order), a
+coordinator crash loses at most the in-flight points: rerunning the
+same campaign against the same cache resumes from the completed set.
+Like the cache, the coordinator refuses unseeded and traced payloads —
+both would break the "result is a pure function of the spec" contract
+that makes all of the above safe.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import struct
+import sys
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, Iterator, List, Optional, Sequence, TextIO, Tuple
+
+from ..core.exceptions import ConfigurationError, ExperimentError
+from .executors import EXECUTORS, execute_spec_payload
+
+__all__ = [
+    "send_frame",
+    "recv_frame",
+    "parse_address",
+    "DistributedExecutor",
+    "run_worker",
+]
+
+_HEADER = struct.Struct(">I")
+
+#: Defensive bound on a single frame; a result payload for a huge
+#: campaign point is a few MB, so this is orders of magnitude of slack.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+# ---------------------------------------------------------------------------
+# frame codec
+# ---------------------------------------------------------------------------
+def send_frame(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Write one length-prefixed JSON frame."""
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ExperimentError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    sock.sendall(_HEADER.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, size: int) -> Optional[bytes]:
+    chunks = []
+    remaining = size
+    while remaining:
+        piece = sock.recv(remaining)
+        if not piece:
+            return None
+        chunks.append(piece)
+        remaining -= len(piece)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` on a clean or mid-frame disconnect."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ExperimentError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    body = _recv_exact(sock, length)
+    if body is None:
+        return None
+    message = json.loads(body.decode("utf-8"))
+    if not isinstance(message, dict) or "type" not in message:
+        raise ExperimentError("malformed frame: expected a JSON object with a 'type' field")
+    return message
+
+
+def parse_address(
+    text: Optional[str], default_host: str = "127.0.0.1", default_port: int = 0
+) -> Tuple[str, int]:
+    """``"HOST:PORT"`` | ``"PORT"`` | empty → ``(host, port)``."""
+    if not text:
+        return (default_host, default_port)
+    host, sep, port_text = str(text).rpartition(":")
+    if not sep:
+        host, port_text = "", str(text)
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ConfigurationError(
+            f"bad distributed address {text!r}; expected 'HOST:PORT' or 'PORT'"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ConfigurationError(f"port {port} out of range in distributed address {text!r}")
+    return (host or default_host, port)
+
+
+def _refuse_uncacheable_payload(payload: Dict[str, Any]) -> None:
+    """Mirror the cache's refusals: dispatch only pure-function specs."""
+    if payload.get("seed") is None:
+        raise ConfigurationError(
+            "distributed executor refuses seed=None specs: the result would depend "
+            "on which worker ran it (the campaign layer pins per-point seeds)"
+        )
+    if payload.get("record_trace"):
+        raise ConfigurationError(
+            "distributed executor refuses traced specs: traces do not survive the "
+            "payload round trip (run_campaign pins traced points in-process)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# coordinator state (one instance per map_payloads call)
+# ---------------------------------------------------------------------------
+class _CampaignState:
+    """Work queue + leases + results, shared by the handler threads.
+
+    All mutation happens under one condition variable; waiters (the
+    in-order result generator, workers blocked on ``next``) are woken on
+    every completion, requeue, registration, or abort.
+    """
+
+    def __init__(self, payloads: List[Dict[str, Any]], lease_timeout: float, max_retries: int):
+        self.payloads = payloads
+        self.lease_timeout = lease_timeout
+        self.max_retries = max_retries
+        self.cond = threading.Condition()
+        self.pending: deque = deque(range(len(payloads)))
+        self.leases: Dict[int, Tuple[str, float]] = {}
+        self.done: Dict[int, Dict[str, Any]] = {}
+        self.attempts: Dict[int, int] = {}
+        self.fatal: Optional[str] = None
+        self.workers: set = set()
+        self.workers_seen = 0
+        self.requeued = 0
+        self.retried = 0
+        self.duplicates = 0
+        # Called (outside the lock) with (index, payload) as each result
+        # lands, in completion order — run_campaign persists to the
+        # cache here, which is what bounds a coordinator crash to the
+        # in-flight points.
+        self.on_result = None
+
+    def _finished_locked(self) -> bool:
+        return self.fatal is not None or len(self.done) == len(self.payloads)
+
+    # -- worker lifecycle ---------------------------------------------
+    def register(self, worker_id: str) -> None:
+        with self.cond:
+            self.workers.add(worker_id)
+            self.workers_seen += 1
+            self.cond.notify_all()
+
+    def unregister(self, worker_id: str) -> None:
+        """Connection gone: requeue every lease the worker held."""
+        with self.cond:
+            self.workers.discard(worker_id)
+            held = [i for i, (owner, _) in self.leases.items() if owner == worker_id]
+            for index in held:
+                del self.leases[index]
+                if index not in self.done:
+                    self.pending.append(index)
+                    self.requeued += 1
+            if held:
+                self.cond.notify_all()
+
+    def touch(self, worker_id: str) -> None:
+        """Heartbeat (or any activity): extend the worker's leases."""
+        with self.cond:
+            self._touch_locked(worker_id)
+
+    def _touch_locked(self, worker_id: str) -> None:
+        deadline = time.monotonic() + self.lease_timeout
+        for index, (owner, _) in list(self.leases.items()):
+            if owner == worker_id:
+                self.leases[index] = (owner, deadline)
+
+    # -- work dispatch ------------------------------------------------
+    def acquire(self, worker_id: str, timeout: float) -> Tuple[str, Optional[int]]:
+        """Next pending index for *worker_id*, waiting up to *timeout*.
+
+        Returns ``("task", index)``, ``("wait", None)`` when nothing is
+        pending within the window, or ``("shutdown", None)`` once the
+        campaign is finished or aborted.
+        """
+        deadline = time.monotonic() + timeout
+        with self.cond:
+            while True:
+                if self._finished_locked():
+                    return ("shutdown", None)
+                while self.pending and self.pending[0] in self.done:
+                    self.pending.popleft()  # stale requeue of a completed point
+                if self.pending:
+                    index = self.pending.popleft()
+                    self.leases[index] = (worker_id, time.monotonic() + self.lease_timeout)
+                    return ("task", index)
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return ("wait", None)
+                self.cond.wait(remaining)
+
+    def complete(self, worker_id: str, index: int, payload: Dict[str, Any]) -> None:
+        hook = None
+        with self.cond:
+            if not 0 <= index < len(self.payloads):
+                return
+            self._touch_locked(worker_id)
+            self.leases.pop(index, None)
+            if index in self.done:
+                self.duplicates += 1  # a resurrected worker's late copy
+                return
+            self.done[index] = payload
+            hook = self.on_result
+            self.cond.notify_all()
+        if hook is not None:
+            try:
+                hook(index, payload)
+            except Exception:
+                # The in-order consumer persists the same payload again
+                # and surfaces any real cache failure loudly; the hook
+                # is purely the crash-tolerance fast path.
+                pass
+
+    def fail(self, worker_id: str, index: int, message: str) -> None:
+        from .cache import spec_key
+
+        with self.cond:
+            if not 0 <= index < len(self.payloads) or index in self.done:
+                return
+            self._touch_locked(worker_id)
+            self.leases.pop(index, None)
+            count = self.attempts.get(index, 0) + 1
+            self.attempts[index] = count
+            if count <= self.max_retries:
+                self.retried += 1
+                self.pending.append(index)
+            elif self.fatal is None:
+                self.fatal = (
+                    f"campaign point {index} (cache key {spec_key(self.payloads[index])}) "
+                    f"failed on worker {worker_id!r} after {count} attempt(s): {message}"
+                )
+            self.cond.notify_all()
+
+    def expire_leases(self, now: float) -> None:
+        with self.cond:
+            expired = [i for i, (_, deadline) in self.leases.items() if deadline < now]
+            for index in expired:
+                del self.leases[index]
+                if index not in self.done:
+                    self.pending.append(index)
+                    self.requeued += 1
+            if expired:
+                self.cond.notify_all()
+
+    def abort(self, message: str) -> None:
+        with self.cond:
+            if self.fatal is None and len(self.done) < len(self.payloads):
+                self.fatal = message
+            self.cond.notify_all()
+
+    # -- in-order consumption -----------------------------------------
+    def wait_for(self, index: int, startup_deadline: Optional[float], address) -> Dict[str, Any]:
+        with self.cond:
+            while True:
+                if self.fatal is not None:
+                    raise ExperimentError(self.fatal)
+                if index in self.done:
+                    return self.done[index]
+                if (
+                    startup_deadline is not None
+                    and self.workers_seen == 0
+                    and time.monotonic() >= startup_deadline
+                ):
+                    self.fatal = (
+                        f"no worker connected to {address[0]}:{address[1]} within the "
+                        f"startup timeout; start one with "
+                        f"'python -m repro worker --connect {address[0]}:{address[1]}'"
+                    )
+                    self.cond.notify_all()
+                    raise ExperimentError(self.fatal)
+                self.cond.wait(0.2)
+
+    def stats(self) -> Dict[str, int]:
+        with self.cond:
+            return {
+                "workers_seen": self.workers_seen,
+                "completed": len(self.done),
+                "requeued": self.requeued,
+                "retried": self.retried,
+                "duplicates": self.duplicates,
+            }
+
+
+def _serve_connection(state: _CampaignState, conn: socket.socket, poll: float) -> None:
+    """Handle one worker connection (its own thread) until it drops."""
+    worker_id = None
+    try:
+        hello = recv_frame(conn)
+        if hello is None or hello.get("type") != "hello":
+            return
+        worker_id = str(hello.get("worker") or f"anon-{id(conn):x}")
+        state.register(worker_id)
+        send_frame(
+            conn,
+            {
+                "type": "welcome",
+                "heartbeat": max(state.lease_timeout / 4.0, 0.05),
+                "lease_timeout": state.lease_timeout,
+            },
+        )
+        while True:
+            message = recv_frame(conn)
+            if message is None:
+                return
+            kind = message["type"]
+            if kind == "heartbeat":
+                state.touch(worker_id)
+            elif kind == "result":
+                state.complete(worker_id, int(message["task"]), message["payload"])
+            elif kind == "error":
+                state.fail(worker_id, int(message["task"]), str(message.get("message", "")))
+            elif kind == "next":
+                verdict, index = state.acquire(worker_id, timeout=poll)
+                if verdict == "task":
+                    send_frame(
+                        conn, {"type": "task", "task": index, "payload": state.payloads[index]}
+                    )
+                elif verdict == "wait":
+                    send_frame(conn, {"type": "wait", "delay": min(poll, 0.05)})
+                else:
+                    send_frame(conn, {"type": "shutdown"})
+                    return
+            # unknown frame types are ignored (forward compatibility)
+    except (OSError, ValueError, KeyError, TypeError, ExperimentError):
+        pass  # a misbehaving worker must never take the coordinator down
+    finally:
+        if worker_id is not None:
+            state.unregister(worker_id)
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def _accept_loop(listener: socket.socket, state: _CampaignState, stop: threading.Event, poll: float) -> None:
+    while not stop.is_set():
+        try:
+            conn, _ = listener.accept()
+        except socket.timeout:
+            continue
+        except OSError:
+            return  # listener closed under us (executor.close())
+        threading.Thread(
+            target=_serve_connection, args=(state, conn, poll), daemon=True
+        ).start()
+
+
+def _lease_monitor(state: _CampaignState, stop: threading.Event, interval: float) -> None:
+    while not stop.wait(interval):
+        state.expire_leases(time.monotonic())
+
+
+# ---------------------------------------------------------------------------
+# the executor
+# ---------------------------------------------------------------------------
+class DistributedExecutor:
+    """Coordinator for socket-connected ``repro worker`` processes.
+
+    Binds ``(host, port)`` at construction (``port=0`` picks an
+    ephemeral port; read it back from :attr:`address`).  Each
+    ``map_payloads`` call runs one coordinator session over the shared
+    listener: workers pull points, stream results back, and are told to
+    shut down when the batch is complete.  See the module docstring for
+    the wire protocol and the fault-tolerance contract.
+
+    Parameters
+    ----------
+    host / port:
+        Bind address for the coordinator socket.
+    lease_timeout:
+        Seconds a dispatched point may go without a result or heartbeat
+        before it is requeued for another worker.
+    max_retries:
+        Worker-*reported* failures tolerated per point before the
+        campaign aborts (the same transient-retry knob as
+        :class:`~repro.api.executors.ProcessExecutor`).  Lost-worker
+        requeues are not counted — crash tolerance is unconditional.
+    poll:
+        Upper bound on how long a worker's ``next`` request blocks
+        server-side before a ``wait`` response; also bounds how quickly
+        idle handlers notice campaign completion.
+    startup_timeout:
+        If set, abort when work is pending and no worker has *ever*
+        connected after this many seconds (guards hangs in scripted
+        runs); ``None`` waits indefinitely.
+    """
+
+    name = "distributed"
+
+    #: Set by ``run_campaign`` to a ``(position, payload)`` callback that
+    #: persists each completed point as it lands (see module docstring).
+    progress_hook = None
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lease_timeout: float = 30.0,
+        max_retries: int = 1,
+        poll: float = 0.25,
+        startup_timeout: Optional[float] = None,
+    ):
+        if lease_timeout <= 0:
+            raise ConfigurationError(f"lease_timeout must be > 0, got {lease_timeout}")
+        if max_retries < 0:
+            raise ConfigurationError(f"max_retries must be >= 0, got {max_retries}")
+        if poll <= 0:
+            raise ConfigurationError(f"poll must be > 0, got {poll}")
+        self.lease_timeout = float(lease_timeout)
+        self.max_retries = int(max_retries)
+        self.poll = float(poll)
+        self.startup_timeout = startup_timeout
+        self._listener = socket.create_server((host, port), backlog=64)
+        self._listener.settimeout(0.2)
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self._closed = False
+        self.last_stats: Dict[str, int] = {}
+
+    @classmethod
+    def from_string(cls, arg: Optional[str], workers=None, chunksize=None) -> "DistributedExecutor":
+        """Build from the ``"distributed[:HOST:PORT]"`` executor string.
+
+        ``workers`` / ``chunksize`` are accepted for signature parity
+        with the other executors and ignored: parallelism is however
+        many worker processes connect, and dispatch is always one point
+        per pull (work-stealing needs no chunking).
+        """
+        host, port = parse_address(arg)
+        return cls(host=host, port=port)
+
+    @property
+    def host(self) -> str:
+        return self.address[0]
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    def close(self) -> None:
+        """Release the coordinator socket (idempotent)."""
+        self._closed = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "DistributedExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def map_payloads(self, payloads: Sequence[Dict[str, Any]]) -> Iterator[Dict[str, Any]]:
+        if self._closed:
+            raise ExperimentError("distributed executor is closed")
+        payloads = [dict(p) for p in payloads]
+        for payload in payloads:
+            _refuse_uncacheable_payload(payload)
+        return self._stream(payloads)
+
+    def _stream(self, payloads: List[Dict[str, Any]]) -> Iterator[Dict[str, Any]]:
+        if not payloads:
+            return
+        state = _CampaignState(payloads, self.lease_timeout, self.max_retries)
+        state.on_result = self._notify_progress
+        stop = threading.Event()
+        accepter = threading.Thread(
+            target=_accept_loop, args=(self._listener, state, stop, self.poll), daemon=True
+        )
+        monitor = threading.Thread(
+            target=_lease_monitor,
+            args=(state, stop, min(0.5, self.lease_timeout / 4.0)),
+            daemon=True,
+        )
+        accepter.start()
+        monitor.start()
+        startup_deadline = (
+            None if self.startup_timeout is None else time.monotonic() + self.startup_timeout
+        )
+        try:
+            for index in range(len(payloads)):
+                yield state.wait_for(index, startup_deadline, self.address)
+        finally:
+            stop.set()
+            # Wake blocked handlers so idle workers get their shutdown
+            # frame instead of waiting out the poll window.
+            state.abort("coordinator shut down")
+            accepter.join(timeout=2.0)
+            monitor.join(timeout=2.0)
+            self.last_stats = state.stats()
+
+    def _notify_progress(self, index: int, payload: Dict[str, Any]) -> None:
+        hook = self.progress_hook
+        if hook is not None:
+            hook(index, payload)
+
+
+EXECUTORS["distributed"] = DistributedExecutor
+
+
+# ---------------------------------------------------------------------------
+# the worker loop (``python -m repro worker``)
+# ---------------------------------------------------------------------------
+def _connect_with_retry(host: str, port: int, window: float) -> Optional[socket.socket]:
+    deadline = time.monotonic() + window
+    delay = 0.05
+    while True:
+        try:
+            return socket.create_connection((host, port), timeout=10.0)
+        except OSError:
+            if time.monotonic() >= deadline:
+                return None
+            time.sleep(delay)
+            delay = min(delay * 2.0, 1.0)
+
+
+def _serve_session(sock: socket.socket, execute=execute_spec_payload) -> Tuple[str, int]:
+    """Pull-run-report until shutdown or disconnect.
+
+    Returns ``(outcome, points_served)`` with outcome ``"shutdown"``
+    (clean campaign end) or ``"lost"`` (connection dropped — the caller
+    may reconnect; a restarted coordinator resumes from its cache).
+    """
+    sock.settimeout(None)
+    write_lock = threading.Lock()
+    worker_id = f"{socket.gethostname()}-{os.getpid()}"
+    send_frame(sock, {"type": "hello", "worker": worker_id, "pid": os.getpid()})
+    welcome = recv_frame(sock)
+    if welcome is None or welcome.get("type") != "welcome":
+        return ("lost", 0)
+    interval = float(welcome.get("heartbeat", 1.0))
+    stop = threading.Event()
+
+    def beat():
+        # Keeps the lease alive while a long point runs in the main
+        # thread; writes share the socket lock with result frames.
+        while not stop.wait(interval):
+            try:
+                with write_lock:
+                    send_frame(sock, {"type": "heartbeat"})
+            except OSError:
+                return
+
+    threading.Thread(target=beat, daemon=True).start()
+    served = 0
+    try:
+        while True:
+            with write_lock:
+                send_frame(sock, {"type": "next"})
+            message = recv_frame(sock)
+            if message is None:
+                return ("lost", served)
+            kind = message.get("type")
+            if kind == "shutdown":
+                return ("shutdown", served)
+            if kind == "wait":
+                time.sleep(float(message.get("delay", 0.05)))
+                continue
+            if kind != "task":
+                continue
+            index = int(message["task"])
+            try:
+                payload = execute(message["payload"])
+            except Exception as exc:
+                reply = {
+                    "type": "error",
+                    "task": index,
+                    "message": f"{type(exc).__name__}: {exc}",
+                }
+            else:
+                served += 1
+                reply = {"type": "result", "task": index, "payload": payload}
+            with write_lock:
+                send_frame(sock, reply)
+    except OSError:
+        return ("lost", served)
+    finally:
+        stop.set()
+
+
+def run_worker(
+    address: str,
+    connect_retry: float = 30.0,
+    stream: Optional[TextIO] = None,
+    execute=execute_spec_payload,
+) -> int:
+    """``python -m repro worker --connect HOST:PORT`` entry point.
+
+    Connects (retrying for *connect_retry* seconds — the coordinator may
+    start after the workers, and a crashed coordinator may restart and
+    resume from its cache), serves campaign points until told to shut
+    down, and reconnects after a lost connection with a fresh retry
+    window.  Returns 0 on a clean shutdown or an exhausted retry window.
+    """
+    stream = sys.stderr if stream is None else stream
+    host, port = parse_address(address, default_port=-1)
+    if port < 0:
+        raise ConfigurationError(f"worker address {address!r} needs an explicit port")
+    total = 0
+    while True:
+        sock = _connect_with_retry(host, port, connect_retry)
+        if sock is None:
+            print(
+                f"repro worker: no coordinator at {host}:{port} within "
+                f"{connect_retry:.0f}s ({total} point(s) served); exiting",
+                file=stream,
+            )
+            return 0
+        with sock:
+            outcome, served = _serve_session(sock, execute=execute)
+        total += served
+        if outcome == "shutdown":
+            print(
+                f"repro worker: campaign complete ({total} point(s) served); exiting",
+                file=stream,
+            )
+            return 0
+        print(
+            f"repro worker: lost coordinator at {host}:{port} after {served} point(s); "
+            f"retrying for {connect_retry:.0f}s",
+            file=stream,
+        )

@@ -27,19 +27,33 @@ depend on worker count, chunking, or completion order.
 
 from __future__ import annotations
 
+import functools
 import math
 import os
 from typing import Any, Dict, Iterator, Optional, Sequence, Union
 
-from ..core.exceptions import ConfigurationError
+from ..core.exceptions import ConfigurationError, ExperimentError
 
 __all__ = [
     "execute_spec_payload",
+    "execute_with_retries",
+    "ExecutorPointError",
     "SerialExecutor",
     "ProcessExecutor",
     "EXECUTORS",
     "resolve_executor",
 ]
+
+
+class ExecutorPointError(ExperimentError):
+    """A campaign point failed inside an executor worker.
+
+    The message names the offending spec payload by its content-address
+    (:func:`repro.api.cache.spec_key`), so a failing point in a
+    thousand-point campaign can be replayed directly instead of
+    bisecting a bare mid-iteration traceback.  Single-string payload,
+    so it pickles cleanly across the process-pool boundary.
+    """
 
 
 def execute_spec_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -53,6 +67,31 @@ def execute_spec_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     from .spec import SimulationSpec
 
     return simulate(SimulationSpec.from_dict(payload)).to_dict()
+
+
+def execute_with_retries(payload: Dict[str, Any], max_retries: int = 1) -> Dict[str, Any]:
+    """:func:`execute_spec_payload` plus the transient-retry contract.
+
+    Retries a failing point up to *max_retries* times in place, then
+    wraps the final exception in :class:`ExecutorPointError` carrying
+    the payload's cache key.  The distributed executor implements the
+    same knob coordinator-side (requeue, typically onto a *different*
+    worker) so both backends tolerate the same transient failures.
+    """
+    from .cache import spec_key
+
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return execute_spec_payload(payload)
+        except Exception as exc:
+            if attempt <= max_retries:
+                continue
+            raise ExecutorPointError(
+                f"spec payload (cache key {spec_key(payload)}) failed after "
+                f"{attempt} attempt(s): {type(exc).__name__}: {exc}"
+            ) from exc
 
 
 class SerialExecutor:
@@ -77,17 +116,30 @@ class ProcessExecutor:
         Points handed to a worker per dispatch.  Default aims at four
         chunks per worker — large enough to amortise pickling, small
         enough to keep the pool busy when point costs are uneven.
+    max_retries:
+        Transient failures tolerated per point (retried in the worker)
+        before the error surfaces as an :class:`ExecutorPointError`
+        naming the point's cache key.  Shared knob with the distributed
+        executor.
     """
 
     name = "process"
 
-    def __init__(self, workers: Optional[int] = None, chunksize: Optional[int] = None):
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        chunksize: Optional[int] = None,
+        max_retries: int = 1,
+    ):
         if workers is not None and workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         if chunksize is not None and chunksize < 1:
             raise ConfigurationError(f"chunksize must be >= 1, got {chunksize}")
+        if max_retries < 0:
+            raise ConfigurationError(f"max_retries must be >= 0, got {max_retries}")
         self.workers = workers
         self.chunksize = chunksize
+        self.max_retries = max_retries
 
     def map_payloads(self, payloads: Sequence[Dict[str, Any]]) -> Iterator[Dict[str, Any]]:
         from concurrent.futures import ProcessPoolExecutor
@@ -97,13 +149,17 @@ class ProcessExecutor:
             return
         workers = min(self.workers or os.cpu_count() or 1, len(payloads))
         chunksize = self.chunksize or max(1, math.ceil(len(payloads) / (4 * workers)))
+        run_one = functools.partial(execute_with_retries, max_retries=self.max_retries)
         with ProcessPoolExecutor(max_workers=workers) as pool:
             # pool.map yields in input order as chunks complete, so the
             # caller can checkpoint each result while later points run.
-            yield from pool.map(execute_spec_payload, payloads, chunksize=chunksize)
+            yield from pool.map(run_one, payloads, chunksize=chunksize)
 
 
-#: Registered executor factories, keyed by the names ``run_campaign`` accepts.
+#: Registered executor factories, keyed by the names ``run_campaign``
+#: accepts.  :mod:`repro.api.distributed` registers ``"distributed"``
+#: here at import time (it lives in its own module because it imports
+#: this one for :func:`execute_spec_payload`).
 EXECUTORS = {
     "serial": SerialExecutor,
     "process": ProcessExecutor,
@@ -117,23 +173,36 @@ def resolve_executor(
 ):
     """Turn the ``executor=`` argument of ``run_campaign`` into an object.
 
-    Strings go through :data:`EXECUTORS` (``workers`` / ``chunksize``
-    apply to the process executor); objects pass through unchanged after
-    a duck-type check, so callers can bring their own backend.
+    Strings go through :data:`EXECUTORS`; a ``"name:arg"`` suffix is
+    handed to the factory's ``from_string`` classmethod when it defines
+    one (``"distributed:HOST:PORT"`` binds the coordinator address), and
+    ``workers`` / ``chunksize`` apply to the process executor.  Objects
+    pass through unchanged after a duck-type check, so callers can bring
+    their own backend.
     """
     if isinstance(executor, str):
+        name, sep, arg = executor.partition(":")
         try:
-            factory = EXECUTORS[executor]
+            factory = EXECUTORS[name]
         except KeyError:
             raise ConfigurationError(
-                f"unknown executor {executor!r}; registered: {', '.join(sorted(EXECUTORS))}"
+                f"unknown executor {name!r}; registered: {', '.join(sorted(EXECUTORS))}"
             ) from None
+        builder = getattr(factory, "from_string", None)
+        if builder is not None:
+            return builder(arg if sep else None, workers=workers, chunksize=chunksize)
+        if sep:
+            raise ConfigurationError(
+                f"executor {name!r} takes no ':<arg>' suffix (only executors with a "
+                f"from_string hook do, e.g. 'distributed:HOST:PORT')"
+            )
         if factory is ProcessExecutor:
             return ProcessExecutor(workers=workers, chunksize=chunksize)
         return factory()
     if not callable(getattr(executor, "map_payloads", None)):
         raise ConfigurationError(
-            f"an executor needs a map_payloads(list[dict]) -> iterable[dict] method; "
+            f"an executor needs a map_payloads(list[dict]) -> iterable[dict] method "
+            f"(or pass one of the registered names: {', '.join(sorted(EXECUTORS))}); "
             f"got {type(executor).__name__}"
         )
     return executor

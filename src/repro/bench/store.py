@@ -14,14 +14,20 @@ from __future__ import annotations
 import json
 import os
 import platform
+import sys
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TextIO
 
 import numpy as np
 
 from ..core.exceptions import ExperimentError
 
-__all__ = ["ResultStore", "bench_environment", "save_bench_payload"]
+__all__ = [
+    "ResultStore",
+    "bench_environment",
+    "save_bench_payload",
+    "warn_skipped_criterion",
+]
 
 
 def bench_environment() -> Dict[str, str]:
@@ -31,6 +37,20 @@ def bench_environment() -> Dict[str, str]:
         "numpy": np.__version__,
         "machine": platform.machine(),
     }
+
+
+def warn_skipped_criterion(name: str, reason: str, stream: Optional[TextIO] = None) -> None:
+    """Loudly record that a perf criterion was measured but not asserted.
+
+    A speedup gate that silently no-ops on an undersized box looks
+    exactly like a pass in CI logs; this prints a GitHub-Actions
+    ``::warning`` annotation on stdout (surfaced on the run summary
+    page) plus a plain line on stderr for terminal runs, so a skipped
+    gate is always visible.
+    """
+    message = f"perf criterion {name!r} recorded but NOT asserted: {reason}"
+    print(f"::warning::{message}")
+    print(f"repro bench: {message}", file=stream if stream is not None else sys.stderr)
 
 
 def save_bench_payload(payload: Dict, path: str) -> None:

@@ -7,6 +7,8 @@ Examples::
     python -m repro simulate voter --n 10000 --model synchronous --initial balanced --initial-param k=4
     python -m repro sweep two-choices --axis n=10000,20000,40000 --reps 8 --seed 7
     python -m repro sweep two-choices --axis n=10000,20000 --workers 4 --cache-dir .repro-cache --json
+    python -m repro sweep two-choices --axis n=10000,20000 --executor distributed:7654 --cache-dir cache
+    python -m repro worker --connect 127.0.0.1:7654
     python -m repro run T6
     python -m repro run all --scale full --store results
     python -m repro show T6 --store results
@@ -27,6 +29,7 @@ from typing import Dict, List, Optional
 
 from .api import (
     DELAYS,
+    EXECUTORS,
     INITIALS,
     PROTOCOLS,
     STOPS,
@@ -134,6 +137,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_cmd.add_argument("--chunksize", type=int, default=None, help="points per process dispatch")
     sweep_cmd.add_argument(
+        "--executor",
+        default=None,
+        metavar="NAME[:HOST:PORT]",
+        help="executor backend by name (see 'repro list'): serial, process, or "
+        "distributed[:HOST:PORT] — the latter binds a coordinator socket and serves "
+        "points to 'repro worker' processes; default: process when --workers > 1, "
+        "else serial",
+    )
+    sweep_cmd.add_argument(
         "--cache-dir",
         default=None,
         help="content-addressed result cache directory (skip-completed resume, warm replays)",
@@ -146,6 +158,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_cmd.add_argument(
         "--spec-only", action="store_true", help="print the campaign spec as JSON without running"
+    )
+
+    worker_cmd = sub.add_parser(
+        "worker",
+        help="serve campaign points to a distributed sweep coordinator (pull, run, stream back)",
+    )
+    worker_cmd.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address (the 'repro sweep --executor distributed:...' side)",
+    )
+    worker_cmd.add_argument(
+        "--connect-retry",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="keep retrying the connection this long (the coordinator may start late, "
+        "or restart after a crash and resume from its cache; default: 30)",
     )
 
     run_cmd = sub.add_parser("run", help="run one experiment (or 'all')")
@@ -365,14 +396,31 @@ def _run_sweep(args) -> int:
     if args.spec_only:
         print(json.dumps(campaign.to_dict(), indent=2, sort_keys=True))
         return 0
-    executor = "process" if args.workers > 1 else "serial"
-    result = run_campaign(
-        campaign,
-        executor=executor,
-        cache=args.cache_dir,
-        workers=args.workers,
-        chunksize=args.chunksize,
-    )
+    executor = args.executor or ("process" if args.workers > 1 else "serial")
+    executor_obj = None
+    if isinstance(executor, str) and executor.partition(":")[0] == "distributed":
+        # Resolve eagerly so the bound address (port 0 = ephemeral) can
+        # be announced before the campaign blocks waiting for workers.
+        from .api.executors import resolve_executor
+
+        executor_obj = resolve_executor(executor, workers=args.workers, chunksize=args.chunksize)
+        host, port = executor_obj.address
+        print(
+            f"coordinator listening on {host}:{port} — start workers with: "
+            f"python -m repro worker --connect {host}:{port}",
+            file=sys.stderr,
+        )
+    try:
+        result = run_campaign(
+            campaign,
+            executor=executor_obj if executor_obj is not None else executor,
+            cache=args.cache_dir,
+            workers=args.workers,
+            chunksize=args.chunksize,
+        )
+    finally:
+        if executor_obj is not None:
+            executor_obj.close()
     if args.json:
         # stdout carries only the deterministic payload (a pure function
         # of the campaign spec and the simulation values, RFC-8259
@@ -417,6 +465,13 @@ def _print_registries() -> None:
             ) or "-"
             rows.append([name, params, entry.description])
         print(format_table(["name", "params (* = required)", "description"], rows))
+    print()
+    print("executors (repro sweep --executor):")
+    rows = []
+    for name in sorted(EXECUTORS):
+        doc = (EXECUTORS[name].__doc__ or "").strip()
+        rows.append([name, doc.splitlines()[0] if doc else "-"])
+    print(format_table(["executor", "description"], rows))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -435,6 +490,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "sweep":
         return _run_sweep(args)
+
+    if args.command == "worker":
+        from .api.distributed import run_worker
+
+        return run_worker(args.connect, connect_retry=args.connect_retry)
 
     if args.command == "run":
         scale = _resolve_scale(args)

@@ -290,6 +290,30 @@ class TestCampaignCache:
         resumed = run_campaign(campaign, cache=str(tmp_path))
         assert resumed.engine_runs == 1 and resumed.cache_hits == 2
 
+    def test_keyboard_interrupt_mid_campaign_resumes_from_cache(self, tmp_path, monkeypatch):
+        """Ctrl-C mid-campaign behaves like a crash: the completed prefix
+        stays cached and a rerun finishes only the missing points, with
+        the resumed result value-identical to an uninterrupted run."""
+        campaign = _campaign(ns=(300, 400, 500))
+        real = executors_module.execute_spec_payload
+        calls = {"count": 0}
+
+        def interrupted(payload):
+            if calls["count"] == 2:
+                raise KeyboardInterrupt
+            calls["count"] += 1
+            return real(payload)
+
+        monkeypatch.setattr(executors_module, "execute_spec_payload", interrupted)
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(campaign, cache=str(tmp_path))
+        assert len(ResultCache(tmp_path)) == 2
+
+        monkeypatch.setattr(executors_module, "execute_spec_payload", real)
+        resumed = run_campaign(campaign, cache=str(tmp_path))
+        assert resumed.engine_runs == 1 and resumed.cache_hits == 2
+        assert _deterministic(resumed) == _deterministic(run_campaign(campaign))
+
     def test_partial_cache_resumes_missing_points_only(self, tmp_path):
         campaign = _campaign(ns=(300, 400, 500))
         specs = campaign.points()

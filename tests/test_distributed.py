@@ -1,0 +1,529 @@
+"""Tests for the distributed campaign executor and the executor fault paths.
+
+The acceptance bar (ISSUE 7): a distributed campaign is value-for-value
+identical to a serial one — independent of worker count, join timing,
+lease expiry, and worker kills — because per-point seeds are pinned
+before dispatch; a lost worker's in-flight points are requeued; and the
+coordinator refuses the same unseeded/traced specs the cache does.
+"""
+
+import io
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.api import (
+    CampaignSpec,
+    DistributedExecutor,
+    ExecutorPointError,
+    ProcessExecutor,
+    ResultCache,
+    SimulationSpec,
+    SweepSpec,
+    run_campaign,
+    simulate,
+    spec_key,
+)
+from repro.api import executors as executors_module
+from repro.api.distributed import (
+    parse_address,
+    recv_frame,
+    run_worker,
+    send_frame,
+)
+from repro.api.executors import EXECUTORS, execute_with_retries, resolve_executor
+from repro.core.exceptions import ConfigurationError, ExperimentError
+
+JOIN_TIMEOUT = 60.0
+
+
+def _base(n=300, reps=2, **overrides):
+    kwargs = dict(
+        protocol="two-choices",
+        n=n,
+        initial="two-colors",
+        initial_params={"gap": n // 5},
+        reps=reps,
+        max_steps=40 * n,
+    )
+    kwargs.update(overrides)
+    return SimulationSpec(**kwargs)
+
+
+def _campaign(ns=(300, 400), seed=11, **kwargs):
+    return CampaignSpec(base=_base(), sweep=SweepSpec(axes={"n": list(ns)}), seed=seed, **kwargs)
+
+
+def _deterministic(result):
+    payload = result.to_dict()
+    del payload["execution"]
+    return payload
+
+
+def _start_worker_thread(executor, delay=0.0, connect_retry=10.0):
+    address = f"{executor.host}:{executor.port}"
+
+    def serve():
+        if delay:
+            time.sleep(delay)
+        run_worker(address, connect_retry=connect_retry, stream=io.StringIO())
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    return thread
+
+
+def _run_campaign_async(campaign, executor, **kwargs):
+    holder = {}
+
+    def target():
+        try:
+            holder["result"] = run_campaign(campaign, executor=executor, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - surfaced by the test
+            holder["error"] = exc
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    return thread, holder
+
+
+class _RawClient:
+    """A hand-driven worker for protocol-level tests (no heartbeats)."""
+
+    def __init__(self, executor, worker_id="raw"):
+        self.sock = socket.create_connection(executor.address, timeout=15.0)
+        self.sock.settimeout(15.0)
+        send_frame(self.sock, {"type": "hello", "worker": worker_id})
+        welcome = recv_frame(self.sock)
+        assert welcome is not None and welcome["type"] == "welcome"
+        self.welcome = welcome
+
+    def request_task(self):
+        """Send ``next`` until a task / shutdown arrives."""
+        while True:
+            send_frame(self.sock, {"type": "next"})
+            message = recv_frame(self.sock)
+            assert message is not None
+            if message["type"] == "wait":
+                continue
+            return message
+
+    def send(self, message):
+        send_frame(self.sock, message)
+
+    def close(self):
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# frame codec
+# ---------------------------------------------------------------------------
+class TestFrameCodec:
+    @pytest.mark.parametrize(
+        "message",
+        [
+            {"type": "hello"},
+            {"type": "task", "task": 0, "payload": {"n": 1000, "nested": {"a": [1, 2.5, None]}}},
+            {"type": "result", "task": 3, "payload": {"text": "ünïcode ✓", "empty": {}}},
+        ],
+    )
+    def test_round_trip(self, message):
+        a, b = socket.socketpair()
+        try:
+            send_frame(a, message)
+            assert recv_frame(b) == message
+        finally:
+            a.close()
+            b.close()
+
+    def test_many_frames_in_order(self):
+        a, b = socket.socketpair()
+        try:
+            for i in range(20):
+                send_frame(a, {"type": "seq", "i": i})
+            for i in range(20):
+                assert recv_frame(b) == {"type": "seq", "i": i}
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_reads_as_none(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_mid_frame_eof_reads_as_none(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(b"\x00\x00")  # half a header, then the peer dies
+            a.close()
+            assert recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_non_object_frame_rejected(self):
+        import json as json_module
+        import struct
+
+        a, b = socket.socketpair()
+        try:
+            body = json_module.dumps([1, 2, 3]).encode()
+            a.sendall(struct.pack(">I", len(body)) + body)
+            with pytest.raises(ExperimentError, match="type"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_frame_rejected(self):
+        import struct
+
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", 2**31))
+            with pytest.raises(ExperimentError, match="exceeds"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestParseAddress:
+    def test_forms(self):
+        assert parse_address(None) == ("127.0.0.1", 0)
+        assert parse_address("") == ("127.0.0.1", 0)
+        assert parse_address("7654") == ("127.0.0.1", 7654)
+        assert parse_address("0.0.0.0:7654") == ("0.0.0.0", 7654)
+        assert parse_address("example.com:80") == ("example.com", 80)
+
+    @pytest.mark.parametrize("text", ["host", "host:", "a:b", "1:2:c"])
+    def test_bad_addresses_rejected(self, text):
+        with pytest.raises(ConfigurationError, match="address"):
+            parse_address(text)
+
+    def test_port_range_checked(self):
+        with pytest.raises(ConfigurationError, match="range"):
+            parse_address("70000")
+
+
+# ---------------------------------------------------------------------------
+# executor registry / resolution
+# ---------------------------------------------------------------------------
+class TestResolution:
+    def test_distributed_registered(self):
+        assert EXECUTORS["distributed"] is DistributedExecutor
+
+    def test_resolve_from_string_with_port(self):
+        executor = resolve_executor("distributed:0")
+        try:
+            assert isinstance(executor, DistributedExecutor)
+            assert executor.host == "127.0.0.1" and executor.port > 0
+        finally:
+            executor.close()
+
+    def test_resolve_bare_name(self):
+        executor = resolve_executor("distributed")
+        try:
+            assert executor.port > 0  # ephemeral bind happened
+        finally:
+            executor.close()
+
+    def test_unknown_executor_lists_registered_names(self):
+        with pytest.raises(ConfigurationError, match="distributed.*process.*serial"):
+            resolve_executor("gpu")
+
+    def test_suffix_on_plain_executor_rejected(self):
+        with pytest.raises(ConfigurationError, match="no ':<arg>' suffix"):
+            resolve_executor("serial:foo")
+
+    def test_duck_type_error_lists_registered_names(self):
+        with pytest.raises(ConfigurationError, match="registered names.*distributed"):
+            resolve_executor(object())
+
+    def test_constructor_validation(self):
+        with pytest.raises(ConfigurationError, match="lease_timeout"):
+            DistributedExecutor(lease_timeout=0)
+        with pytest.raises(ConfigurationError, match="max_retries"):
+            DistributedExecutor(max_retries=-1)
+
+    def test_closed_executor_refuses_work(self):
+        executor = DistributedExecutor()
+        executor.close()
+        with pytest.raises(ExperimentError, match="closed"):
+            executor.map_payloads([_base(seed=1).to_dict()])
+
+
+class TestRefusals:
+    def test_unseeded_payload_refused(self):
+        with DistributedExecutor() as executor:
+            with pytest.raises(ConfigurationError, match="seed=None"):
+                executor.map_payloads([_base(seed=None).to_dict()])
+
+    def test_traced_payload_refused(self):
+        payload = _base(reps=1, seed=3, record_trace=True, trace_every=1.0).to_dict()
+        with DistributedExecutor() as executor:
+            with pytest.raises(ConfigurationError, match="traced"):
+                executor.map_payloads([payload])
+
+    def test_empty_batch_needs_no_workers(self):
+        with DistributedExecutor() as executor:
+            assert list(executor.map_payloads([])) == []
+
+
+# ---------------------------------------------------------------------------
+# full campaigns over the wire
+# ---------------------------------------------------------------------------
+class TestDistributedCampaign:
+    def test_distributed_equals_serial_equals_warm_cache(self, tmp_path):
+        campaign = _campaign(ns=(300, 350, 400, 450))
+        serial = run_campaign(campaign)
+        with DistributedExecutor(lease_timeout=15.0) as executor:
+            workers = [_start_worker_thread(executor) for _ in range(2)]
+            distributed = run_campaign(campaign, executor=executor, cache=str(tmp_path))
+            for worker in workers:
+                worker.join(JOIN_TIMEOUT)
+        assert _deterministic(distributed) == _deterministic(serial)
+        assert distributed.executor == "distributed"
+        assert executor.last_stats["workers_seen"] == 2
+
+        warm = run_campaign(campaign, cache=str(tmp_path))
+        assert warm.engine_runs == 0 and warm.cache_hits == 4
+        assert _deterministic(warm) == _deterministic(serial)
+
+    def test_worker_count_does_not_matter(self):
+        campaign = _campaign(ns=(300, 350, 400))
+        results = []
+        for count in (1, 3):
+            with DistributedExecutor(lease_timeout=15.0) as executor:
+                workers = [_start_worker_thread(executor) for _ in range(count)]
+                results.append(run_campaign(campaign, executor=executor))
+                for worker in workers:
+                    worker.join(JOIN_TIMEOUT)
+        assert _deterministic(results[0]) == _deterministic(results[1])
+
+    def test_late_joining_worker_picks_up_work(self):
+        campaign = _campaign(ns=(300, 400))
+        with DistributedExecutor(lease_timeout=15.0) as executor:
+            thread, holder = _run_campaign_async(campaign, executor)
+            worker = _start_worker_thread(executor, delay=0.5)  # joins after the campaign starts
+            thread.join(JOIN_TIMEOUT)
+            worker.join(JOIN_TIMEOUT)
+        assert not thread.is_alive() and "result" in holder, holder
+        assert _deterministic(holder["result"]) == _deterministic(run_campaign(campaign))
+
+    def test_lease_expiry_requeues_the_point(self):
+        campaign = _campaign(ns=(300, 400, 500))
+        with DistributedExecutor(lease_timeout=0.6) as executor:
+            thread, holder = _run_campaign_async(campaign, executor)
+            claimer = _RawClient(executor, worker_id="hung")
+            try:
+                claimed = claimer.request_task()
+                assert claimed["type"] == "task"
+                # The claimer now sits on its lease without heartbeats or
+                # a result — a hung worker.  A healthy worker joins and
+                # must end up serving the expired point too.
+                worker = _start_worker_thread(executor)
+                thread.join(JOIN_TIMEOUT)
+                worker.join(JOIN_TIMEOUT)
+            finally:
+                claimer.close()
+        assert not thread.is_alive() and "result" in holder, holder
+        assert executor.last_stats["requeued"] >= 1, executor.last_stats
+        assert _deterministic(holder["result"]) == _deterministic(run_campaign(campaign))
+
+    def test_worker_kill_mid_campaign_completes_and_matches_serial(self, tmp_path):
+        campaign = _campaign(ns=(300, 340, 380, 420, 460, 500))
+        serial = run_campaign(campaign)
+        src = Path(repro.__file__).resolve().parents[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+        with DistributedExecutor(lease_timeout=10.0) as executor:
+            procs = [
+                subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro",
+                        "worker",
+                        "--connect",
+                        f"{executor.host}:{executor.port}",
+                        "--connect-retry",
+                        "30",
+                    ],
+                    env=env,
+                    stdout=subprocess.DEVNULL,
+                    stderr=subprocess.DEVNULL,
+                )
+                for _ in range(2)
+            ]
+            killed = {"done": False}
+
+            def kill_one(position, payload):
+                # First landed result: hard-kill one worker mid-campaign.
+                if not killed["done"]:
+                    killed["done"] = True
+                    procs[0].kill()
+
+            executor.progress_hook = kill_one
+            try:
+                distributed = run_campaign(campaign, executor=executor)
+            finally:
+                for proc in procs:
+                    proc.kill()
+                    proc.wait(timeout=30)
+        assert killed["done"]
+        assert _deterministic(distributed) == _deterministic(serial)
+
+    def test_no_worker_startup_timeout_aborts_loudly(self):
+        campaign = _campaign(ns=(300,))
+        with DistributedExecutor(startup_timeout=0.3) as executor:
+            with pytest.raises(ExperimentError, match="no worker connected"):
+                run_campaign(campaign, executor=executor)
+
+
+class TestDistributedRetries:
+    def test_reported_error_is_retried_on_requeue(self):
+        campaign = _campaign(ns=(300, 400))
+        serial = run_campaign(campaign)
+        with DistributedExecutor(lease_timeout=15.0, max_retries=1) as executor:
+            thread, holder = _run_campaign_async(campaign, executor)
+            client = _RawClient(executor, worker_id="flaky")
+            try:
+                errored = False
+                while True:
+                    message = client.request_task()
+                    if message["type"] == "shutdown":
+                        break
+                    assert message["type"] == "task"
+                    if not errored:
+                        errored = True
+                        client.send(
+                            {"type": "error", "task": message["task"], "message": "transient"}
+                        )
+                        continue
+                    payload = executors_module.execute_spec_payload(message["payload"])
+                    client.send({"type": "result", "task": message["task"], "payload": payload})
+            finally:
+                client.close()
+            thread.join(JOIN_TIMEOUT)
+        assert not thread.is_alive() and "result" in holder, holder
+        assert executor.last_stats["retried"] == 1, executor.last_stats
+        assert _deterministic(holder["result"]) == _deterministic(serial)
+
+    def test_retries_exhausted_aborts_with_cache_key(self):
+        campaign = _campaign(ns=(300, 400))
+        key = spec_key(campaign.points()[0])
+        with DistributedExecutor(lease_timeout=15.0, max_retries=0) as executor:
+            thread, holder = _run_campaign_async(campaign, executor)
+            client = _RawClient(executor, worker_id="broken")
+            try:
+                while True:
+                    message = client.request_task()
+                    if message["type"] == "shutdown":
+                        break
+                    client.send(
+                        {"type": "error", "task": message["task"], "message": "boom"}
+                    )
+            finally:
+                client.close()
+            thread.join(JOIN_TIMEOUT)
+        assert not thread.is_alive() and "error" in holder, holder
+        error = holder["error"]
+        assert isinstance(error, ExperimentError)
+        assert "cache key" in str(error) and "boom" in str(error)
+        # the failing point is named by its content address
+        assert key in str(error) or spec_key(campaign.points()[1]) in str(error)
+
+
+# ---------------------------------------------------------------------------
+# process-executor fault paths (the shared retry knob)
+# ---------------------------------------------------------------------------
+class TestProcessExecutorFaults:
+    def test_failure_surfaces_cache_key(self):
+        good = _base(seed=3).to_dict()
+        bad = dict(good, protocol="no-such-protocol")
+        executor = ProcessExecutor(workers=2, max_retries=0)
+        with pytest.raises(ExecutorPointError, match="cache key") as excinfo:
+            list(executor.map_payloads([good, bad]))
+        assert spec_key(bad) in str(excinfo.value)
+        assert "no-such-protocol" in str(excinfo.value)
+
+    def test_max_retries_validated(self):
+        with pytest.raises(ConfigurationError, match="max_retries"):
+            ProcessExecutor(max_retries=-1)
+
+    def test_execute_with_retries_recovers_from_transient(self, monkeypatch):
+        payload = _base(seed=3).to_dict()
+        expected = executors_module.execute_spec_payload(payload)
+        calls = {"count": 0}
+
+        def flaky(p):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                raise RuntimeError("transient")
+            return expected
+
+        monkeypatch.setattr(executors_module, "execute_spec_payload", flaky)
+        assert execute_with_retries(payload, max_retries=1) == expected
+        assert calls["count"] == 2
+
+    def test_execute_with_retries_exhausted_wraps_error(self, monkeypatch):
+        payload = _base(seed=3).to_dict()
+
+        def broken(p):
+            raise RuntimeError("permanent")
+
+        monkeypatch.setattr(executors_module, "execute_spec_payload", broken)
+        with pytest.raises(ExecutorPointError, match="permanent") as excinfo:
+            execute_with_retries(payload, max_retries=1)
+        assert "2 attempt(s)" in str(excinfo.value)
+        assert spec_key(payload) in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+class TestCliSurface:
+    def test_list_shows_executors_section(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "executors (repro sweep --executor)" in out
+        for name in ("serial", "process", "distributed"):
+            assert name in out
+
+    def test_worker_requires_connect(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
+
+    def test_worker_address_requires_port(self):
+        with pytest.raises(ConfigurationError, match="port"):
+            run_worker("", connect_retry=0.1, stream=io.StringIO())
+
+    def test_worker_gives_up_after_retry_window(self):
+        # Nothing listens on this port: the worker must exit 0 after the
+        # window instead of hanging.
+        stream = io.StringIO()
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        assert run_worker(f"127.0.0.1:{free_port}", connect_retry=0.3, stream=stream) == 0
+        assert "no coordinator" in stream.getvalue()
