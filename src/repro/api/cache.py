@@ -27,6 +27,8 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
+from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Union
 
@@ -71,10 +73,52 @@ class ResultCache:
     Writes are atomic (temp file + ``os.replace``), so concurrent
     campaign processes sharing one cache directory can race on the same
     key and the loser simply overwrites the winner with identical bytes.
+
+    ``memo_size > 0`` adds an in-process LRU memo over hot keys: a
+    repeated warm hit skips re-reading and re-parsing the JSON file
+    entirely (the ``repro serve`` hot path).  Memoization is sound
+    because the store is content-addressed — a key's value never
+    changes, so a memo entry can only ever disagree with the file by
+    outliving a deleted one, which is indistinguishable from the read
+    having happened earlier.  Only entries that already passed the
+    spec-mismatch check (or arrived through :meth:`put`, which verifies
+    the payload against the spec) enter the memo, so corruption
+    detection on first contact with a key is unchanged.  Memoized
+    payloads are shared between callers: treat them as read-only.
     """
 
-    def __init__(self, directory: Union[str, os.PathLike] = ".repro-cache"):
+    def __init__(self, directory: Union[str, os.PathLike] = ".repro-cache", memo_size: int = 0):
         self.directory = Path(directory)
+        if memo_size < 0:
+            raise ConfigurationError(f"memo_size must be >= 0, got {memo_size}")
+        self.memo_size = int(memo_size)
+        self._memo: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._memo_lock = threading.Lock()
+
+    # -- in-process memo ----------------------------------------------
+    def _memo_get(self, key: str) -> Optional[Dict[str, Any]]:
+        if not self.memo_size:
+            return None
+        with self._memo_lock:
+            payload = self._memo.get(key)
+            if payload is not None:
+                self._memo.move_to_end(key)
+            return payload
+
+    def _memo_put(self, key: str, payload: Dict[str, Any]) -> None:
+        if not self.memo_size:
+            return
+        with self._memo_lock:
+            self._memo[key] = payload
+            self._memo.move_to_end(key)
+            while len(self._memo) > self.memo_size:
+                self._memo.popitem(last=False)
+
+    @property
+    def memo_len(self) -> int:
+        """Number of keys currently memoized (observability/tests)."""
+        with self._memo_lock:
+            return len(self._memo)
 
     # -- key/path layout ----------------------------------------------
     def path_for(self, key: str) -> Path:
@@ -82,8 +126,13 @@ class ResultCache:
         return self.directory / key[:2] / f"{key}.json"
 
     # -- lookup --------------------------------------------------------
-    def get(self, spec: SimulationSpec) -> Optional[SimulationResult]:
-        """The cached result for *spec*, or ``None`` on a miss.
+    def get_payload(self, spec: SimulationSpec) -> Optional[Dict[str, Any]]:
+        """The cached ``SimulationResult.to_dict()`` payload for *spec*.
+
+        ``None`` on a miss.  This is the zero-parse hot path the serve
+        layer answers warm hits from: a memo hit returns the already
+        validated payload dict without touching the filesystem.  The
+        returned dict is shared — treat it as read-only.
 
         An unreadable or format-mismatched entry reads as a miss (it
         will be overwritten by the next :meth:`put`); an entry whose
@@ -91,15 +140,48 @@ class ResultCache:
         a hash collision, never something to silently serve.
         """
         _cacheable(spec)
-        payload = self._read(self.path_for(spec_key(spec)))
+        key = spec_key(spec)
+        memoized = self._memo_get(key)
+        if memoized is not None:
+            return memoized
+        payload = self._read(self.path_for(key))
         if payload is None:
             return None
         if payload["result"]["spec"] != spec.to_dict():
             raise ExperimentError(
-                f"cache entry {spec_key(spec)} holds a different spec; "
+                f"cache entry {key} holds a different spec; "
                 f"the cache directory {self.directory} is corrupt"
             )
-        return SimulationResult.from_dict(payload["result"])
+        self._memo_put(key, payload["result"])
+        return payload["result"]
+
+    def get(self, spec: SimulationSpec) -> Optional[SimulationResult]:
+        """The cached result for *spec*, or ``None`` on a miss.
+
+        Semantics of :meth:`get_payload`, parsed into a
+        :class:`SimulationResult`.
+        """
+        payload = self.get_payload(spec)
+        if payload is None:
+            return None
+        return SimulationResult.from_dict(payload)
+
+    def read_key(self, key: str) -> Optional[Dict[str, Any]]:
+        """The result payload stored under a bare content *key*.
+
+        For callers that hold only the key (``GET /v1/results/<key>``);
+        no spec is available to cross-check, but the entry's recorded
+        key must match its filename.  ``None`` on a miss or unreadable
+        entry.  The returned dict is shared — treat it as read-only.
+        """
+        memoized = self._memo_get(key)
+        if memoized is not None:
+            return memoized
+        payload = self._read(self.path_for(key))
+        if payload is None or payload.get("key") != key:
+            return None
+        self._memo_put(key, payload["result"])
+        return payload["result"]
 
     def put(self, spec: SimulationSpec, result: Union[SimulationResult, Dict[str, Any]]) -> Path:
         """Persist *result* (object or ``to_dict`` payload) under *spec*'s key."""
@@ -124,11 +206,15 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        self._memo_put(key, result_payload)
         return path
 
     def __contains__(self, spec: SimulationSpec) -> bool:
         _cacheable(spec)
-        return self._read(self.path_for(spec_key(spec))) is not None
+        key = spec_key(spec)
+        if self._memo_get(key) is not None:
+            return True
+        return self._read(self.path_for(key)) is not None
 
     # -- maintenance ---------------------------------------------------
     def keys(self) -> Iterator[str]:

@@ -567,10 +567,14 @@ EXECUTORS["distributed"] = DistributedExecutor
 # ---------------------------------------------------------------------------
 # the worker loop (``python -m repro worker``)
 # ---------------------------------------------------------------------------
-def _connect_with_retry(host: str, port: int, window: float) -> Optional[socket.socket]:
+def _connect_with_retry(
+    host: str, port: int, window: float, drain: Optional[threading.Event] = None
+) -> Optional[socket.socket]:
     deadline = time.monotonic() + window
     delay = 0.05
     while True:
+        if drain is not None and drain.is_set():
+            return None
         try:
             return socket.create_connection((host, port), timeout=10.0)
         except OSError:
@@ -580,12 +584,19 @@ def _connect_with_retry(host: str, port: int, window: float) -> Optional[socket.
             delay = min(delay * 2.0, 1.0)
 
 
-def _serve_session(sock: socket.socket, execute=execute_spec_payload) -> Tuple[str, int]:
-    """Pull-run-report until shutdown or disconnect.
+def _serve_session(
+    sock: socket.socket,
+    execute=execute_spec_payload,
+    drain: Optional[threading.Event] = None,
+) -> Tuple[str, int]:
+    """Pull-run-report until shutdown, disconnect, or drain.
 
     Returns ``(outcome, points_served)`` with outcome ``"shutdown"``
-    (clean campaign end) or ``"lost"`` (connection dropped — the caller
-    may reconnect; a restarted coordinator resumes from its cache).
+    (clean campaign end), ``"lost"`` (connection dropped — the caller
+    may reconnect; a restarted coordinator resumes from its cache), or
+    ``"drained"`` (*drain* was set — e.g. SIGTERM: the in-flight point
+    was finished and its result sent before disconnecting, so the
+    coordinator never has to wait out the lease and requeue it).
     """
     sock.settimeout(None)
     write_lock = threading.Lock()
@@ -611,6 +622,10 @@ def _serve_session(sock: socket.socket, execute=execute_spec_payload) -> Tuple[s
     served = 0
     try:
         while True:
+            # Drain checkpoint: only between points, never mid-compute —
+            # a SIGTERM'd worker finishes what it holds and reports it.
+            if drain is not None and drain.is_set():
+                return ("drained", served)
             with write_lock:
                 send_frame(sock, {"type": "next"})
             message = recv_frame(sock)
@@ -649,6 +664,7 @@ def run_worker(
     connect_retry: float = 30.0,
     stream: Optional[TextIO] = None,
     execute=execute_spec_payload,
+    drain: Optional[threading.Event] = None,
 ) -> int:
     """``python -m repro worker --connect HOST:PORT`` entry point.
 
@@ -657,15 +673,36 @@ def run_worker(
     resume from its cache), serves campaign points until told to shut
     down, and reconnects after a lost connection with a fresh retry
     window.  Returns 0 on a clean shutdown or an exhausted retry window.
+
+    ``SIGTERM`` drains gracefully instead of dying mid-lease: the
+    in-flight point is finished and its result sent before the worker
+    disconnects and exits 0, so the coordinator books the point instead
+    of waiting out the lease and requeueing it onto another worker.
+    (The handler is only installed when running in the main thread;
+    embedded callers can pass their own *drain* event.)
     """
     stream = sys.stderr if stream is None else stream
     host, port = parse_address(address, default_port=-1)
     if port < 0:
         raise ConfigurationError(f"worker address {address!r} needs an explicit port")
+    if drain is None:
+        drain = threading.Event()
+    if threading.current_thread() is threading.main_thread():
+        import signal
+
+        signal.signal(signal.SIGTERM, lambda signum, frame: drain.set())
     total = 0
     while True:
-        sock = _connect_with_retry(host, port, connect_retry)
+        if drain.is_set():
+            print(
+                f"repro worker: SIGTERM ({total} point(s) served); exiting",
+                file=stream,
+            )
+            return 0
+        sock = _connect_with_retry(host, port, connect_retry, drain=drain)
         if sock is None:
+            if drain.is_set():
+                continue  # loop top prints the SIGTERM message and exits 0
             print(
                 f"repro worker: no coordinator at {host}:{port} within "
                 f"{connect_retry:.0f}s ({total} point(s) served); exiting",
@@ -673,11 +710,18 @@ def run_worker(
             )
             return 0
         with sock:
-            outcome, served = _serve_session(sock, execute=execute)
+            outcome, served = _serve_session(sock, execute=execute, drain=drain)
         total += served
         if outcome == "shutdown":
             print(
                 f"repro worker: campaign complete ({total} point(s) served); exiting",
+                file=stream,
+            )
+            return 0
+        if outcome == "drained":
+            print(
+                f"repro worker: SIGTERM — finished the in-flight point and sent the "
+                f"result ({total} point(s) served); exiting",
                 file=stream,
             )
             return 0

@@ -1,0 +1,49 @@
+"""repro.api.serve — the persistent simulation-as-a-service layer.
+
+The first part of the repo that stays up between experiments: a
+stdlib-only HTTP server (``python -m repro serve``) accepting
+``SimulationSpec``/``CampaignSpec`` JSON, answering warm-cache hits in
+microseconds, coalescing identical in-flight requests onto one
+computation, and queueing cold runs onto a bounded worker pool behind
+the ``map_payloads`` executor contract.
+
+Modules
+-------
+``server``
+    :class:`SimulationService` (the HTTP-independent core),
+    :class:`ReproServer` (bound socket + accept loop), and
+    :func:`run_server` (the CLI entry point with SIGTERM drain).
+``flight``
+    :class:`SingleFlight` — request coalescing keyed by content hash.
+``jobs``
+    :class:`JobTable` — queued → running → done/error lifecycle with
+    point-level campaign progress.
+``client``
+    :class:`ServeClient` — a stdlib keep-alive client for tests,
+    benchmarks and scripts.
+"""
+
+from .client import ServeClient, ServeError
+from .flight import Flight, SingleFlight
+from .jobs import Job, JobTable
+from .server import (
+    DEFAULT_WAIT_TIMEOUT,
+    ReproServer,
+    ServeRequestError,
+    SimulationService,
+    run_server,
+)
+
+__all__ = [
+    "ReproServer",
+    "SimulationService",
+    "ServeRequestError",
+    "ServeClient",
+    "ServeError",
+    "SingleFlight",
+    "Flight",
+    "Job",
+    "JobTable",
+    "run_server",
+    "DEFAULT_WAIT_TIMEOUT",
+]

@@ -1,0 +1,172 @@
+"""A stdlib HTTP client for the ``repro serve`` surface.
+
+Thin by design: one persistent keep-alive connection per client (so a
+load generator pays connection setup once, not per request), JSON in
+and out, and errors surfaced as :class:`ServeError` carrying the HTTP
+status.  A :class:`ServeClient` is **not** thread-safe — give each
+client thread its own instance (the underlying
+:class:`http.client.HTTPConnection` serializes one request at a time).
+
+>>> from repro.api.serve import ServeClient
+>>> client = ServeClient("127.0.0.1:7680")        # doctest: +SKIP
+>>> client.simulate({"protocol": "two-choices", "n": 10000, "seed": 7})  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Optional, Tuple, Union
+
+from ...core.exceptions import ExperimentError
+from ..distributed import parse_address
+
+__all__ = ["ServeError", "ServeClient"]
+
+
+class ServeError(ExperimentError):
+    """A non-2xx server reply, carrying its HTTP status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+def _payload_of(obj: Any) -> Dict[str, Any]:
+    """Accept a spec object or its ``to_dict`` payload."""
+    to_dict = getattr(obj, "to_dict", None)
+    return to_dict() if callable(to_dict) else dict(obj)
+
+
+class ServeClient:
+    """Requests against one ``repro serve`` instance."""
+
+    def __init__(self, address: Union[str, Tuple[str, int]], timeout: float = 330.0):
+        if isinstance(address, str):
+            host, port = parse_address(address, default_port=-1)
+            if port < 0:
+                raise ExperimentError(f"serve address {address!r} needs an explicit port")
+        else:
+            host, port = address
+        self.host, self.port = host, int(port)
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- transport -----------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def request_raw(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One request; returns ``(status, headers, raw body bytes)``.
+
+        The raw form exists so callers can byte-compare coalesced
+        responses; retries once on a dropped keep-alive connection (the
+        server may have closed an idle one under us).
+        """
+        encoded = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if encoded is not None else {}
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=encoded, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+                return response.status, dict(response.getheaders()), data
+            except (http.client.HTTPException, ConnectionError, BrokenPipeError, OSError):
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _json(self, method: str, path: str, body: Optional[Dict[str, Any]] = None) -> Any:
+        status, _, data = self.request_raw(method, path, body)
+        try:
+            payload = json.loads(data.decode("utf-8")) if data else None
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(status, f"non-JSON reply from server: {exc}") from exc
+        if status >= 400:
+            message = payload.get("error") if isinstance(payload, dict) else None
+            raise ServeError(status, message or f"HTTP {status}")
+        return payload
+
+    # -- read side -----------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._json("GET", "/healthz")
+
+    def registry(self) -> Dict[str, Any]:
+        return self._json("GET", "/v1/registry")
+
+    def jobs(self) -> Dict[str, Any]:
+        return self._json("GET", "/v1/jobs")
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, key: str) -> Dict[str, Any]:
+        return self._json("GET", f"/v1/results/{key}")
+
+    # -- write side ----------------------------------------------------
+    @staticmethod
+    def _post_path(base: str, wait: bool, timeout: Optional[float]) -> str:
+        query = []
+        if not wait:
+            query.append("wait=0")
+        if timeout is not None:
+            query.append(f"timeout={timeout}")
+        return base + ("?" + "&".join(query) if query else "")
+
+    def simulate(
+        self, spec: Any, wait: bool = True, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """POST a :class:`SimulationSpec` (object or payload).
+
+        Returns the result payload (``200``) or the ``202`` job body
+        (``{"job": ..., "key": ..., "status": ...}``) when ``wait`` is
+        off or the window elapsed — tell them apart by the ``"job"``
+        key.
+        """
+        path = self._post_path("/v1/simulate", wait, timeout)
+        return self._json("POST", path, _payload_of(spec))
+
+    def campaign(
+        self, campaign: Any, wait: bool = True, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """POST a :class:`CampaignSpec`; same reply shape as :meth:`simulate`."""
+        path = self._post_path("/v1/campaign", wait, timeout)
+        return self._json("POST", path, _payload_of(campaign))
+
+    def wait_job(
+        self, job_id: str, poll: float = 0.1, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Poll ``GET /v1/jobs/<id>`` until terminal; return the result.
+
+        On ``done``, fetches and returns the payload under the job's
+        key; on ``error``, raises :class:`ServeError` with the job's
+        message.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["status"] == "done":
+                return self.result(job["key"])
+            if job["status"] == "error":
+                raise ServeError(500, job.get("error") or "job failed")
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServeError(504, f"job {job_id} still {job['status']} after {timeout}s")
+            time.sleep(poll)

@@ -1,0 +1,104 @@
+"""Single-flight coalescing for identical in-flight requests.
+
+The serve layer keys every piece of work by its content address
+(:func:`repro.api.cache.spec_key` of the spec payload), which makes
+"the same request" a well-defined notion: two clients POSTing equal
+specs name the same key, so only the first should reach an engine.  A
+:class:`SingleFlight` map holds one :class:`Flight` per in-flight key;
+the first caller to :meth:`~SingleFlight.join` a key becomes the
+**leader** (it owns scheduling the computation and must eventually
+:meth:`~SingleFlight.resolve`), every later caller is a **follower**
+that just waits on the flight's event and reads the same payload.
+
+A flight resolves exactly once — with a payload or an error — and is
+removed from the map at that instant, so a key can be flown again
+later (e.g. after a failed attempt; a *successful* flight lands in the
+result cache first, which is checked before the flight map, so re-runs
+only happen for failures or evicted entries).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Optional, Tuple
+
+__all__ = ["Flight", "SingleFlight"]
+
+
+class Flight:
+    """One in-flight computation, shared by every request for its key."""
+
+    __slots__ = ("key", "job_id", "event", "payload", "error", "followers")
+
+    def __init__(self, key: str, job_id: Optional[str] = None):
+        self.key = key
+        self.job_id = job_id
+        self.event = threading.Event()
+        self.payload: Optional[Dict[str, Any]] = None
+        self.error: Optional[str] = None
+        self.followers = 0
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until resolved; ``False`` if *timeout* elapsed first."""
+        return self.event.wait(timeout)
+
+
+class SingleFlight:
+    """Map of key → :class:`Flight`, with leader election on join."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._flights: Dict[str, Flight] = {}
+
+    def join(
+        self, key: str, on_lead: Optional[Callable[[Flight], None]] = None
+    ) -> Tuple[Flight, bool]:
+        """The flight for *key*, creating it if absent.
+
+        Returns ``(flight, leader)``.  When this call created the
+        flight, *on_lead* (if given) runs under the map lock before any
+        other caller can observe the flight — the serve layer uses it
+        to create and enqueue the backing job atomically, so a follower
+        never sees a flight without a ``job_id``.  If *on_lead* raises,
+        the flight is removed again and the exception propagates (the
+        key is not poisoned).
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is not None:
+                flight.followers += 1
+                return flight, False
+            flight = Flight(key)
+            self._flights[key] = flight
+            if on_lead is not None:
+                try:
+                    on_lead(flight)
+                except BaseException:
+                    del self._flights[key]
+                    raise
+            return flight, True
+
+    def resolve(
+        self,
+        key: str,
+        payload: Optional[Dict[str, Any]] = None,
+        error: Optional[str] = None,
+    ) -> Optional[Flight]:
+        """Publish the outcome for *key* and wake every waiter.
+
+        Returns the resolved flight, or ``None`` if the key was not in
+        flight (already resolved — resolution is idempotent).
+        """
+        with self._lock:
+            flight = self._flights.pop(key, None)
+        if flight is None:
+            return None
+        flight.payload = payload
+        flight.error = error
+        flight.event.set()
+        return flight
+
+    def pending(self) -> int:
+        """Number of keys currently in flight."""
+        with self._lock:
+            return len(self._flights)

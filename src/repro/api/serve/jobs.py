@@ -1,0 +1,142 @@
+"""The serve layer's in-memory job table.
+
+Every cold request admitted by the server becomes one :class:`Job`:
+a unit of queued work with a lifecycle (``queued`` → ``running`` →
+``done`` | ``error``), point-level progress, and the content key its
+result will be cached under.  ``GET /v1/jobs/<id>`` renders
+:meth:`Job.to_payload`; campaign jobs stream progress point by point
+as results land in the cache (wired through the PR-7 ``progress_hook``
+path — see :mod:`repro.api.serve.server`), so a client polling the job
+watches ``completed`` climb toward ``total`` while the campaign runs.
+
+The table is bounded only by process lifetime: jobs are tiny (no
+payloads are retained after completion — results live in the
+:class:`~repro.api.cache.ResultCache`), and keeping finished jobs
+queryable is the point of a job endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Job", "JobTable"]
+
+#: Legal job states, in lifecycle order.
+JOB_STATES = ("queued", "running", "done", "error")
+
+
+class Job:
+    """One admitted unit of work (a simulate point or a whole campaign)."""
+
+    def __init__(self, job_id: str, kind: str, key: str, total: int):
+        self.id = job_id
+        self.kind = kind  # "simulate" | "campaign"
+        self.key = key  # content address of the spec / campaign payload
+        self.total = int(total)  # points this job will produce
+        self.status = "queued"
+        self.error: Optional[str] = None
+        self.created = time.time()
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        self.engine_runs = 0
+        self.cache_hits = 0
+        self._lock = threading.Lock()
+        self._point_keys: set = set()
+
+    # -- lifecycle -----------------------------------------------------
+    def mark_running(self) -> None:
+        with self._lock:
+            self.status = "running"
+            self.started = time.time()
+
+    def mark_done(self, engine_runs: int = 0, cache_hits: int = 0) -> None:
+        with self._lock:
+            self.status = "done"
+            self.finished = time.time()
+            self.engine_runs = int(engine_runs)
+            self.cache_hits = int(cache_hits)
+
+    def mark_error(self, message: str) -> None:
+        with self._lock:
+            self.status = "error"
+            self.error = str(message)
+            self.finished = time.time()
+
+    # -- progress ------------------------------------------------------
+    def mark_point(self, key: str) -> None:
+        """Record one landed point (idempotent per key).
+
+        Campaign points can be persisted twice for the same key — once
+        by the executor's ``progress_hook`` as the point lands and once
+        by ``run_campaign``'s in-order consumer — so progress counts
+        unique keys, never raw put calls.
+        """
+        with self._lock:
+            self._point_keys.add(key)
+
+    @property
+    def completed(self) -> int:
+        with self._lock:
+            return len(self._point_keys)
+
+    # -- rendering -----------------------------------------------------
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-ready form for ``GET /v1/jobs/<id>``."""
+        with self._lock:
+            payload: Dict[str, Any] = {
+                "id": self.id,
+                "kind": self.kind,
+                "key": self.key,
+                "status": self.status,
+                "progress": {"completed": len(self._point_keys), "total": self.total},
+                "created": self.created,
+                "started": self.started,
+                "finished": self.finished,
+            }
+            if self.status == "error":
+                payload["error"] = self.error
+            if self.status == "done":
+                payload["engine_runs"] = self.engine_runs
+                payload["cache_hits"] = self.cache_hits
+        return payload
+
+
+class JobTable:
+    """Thread-safe id → :class:`Job` map with monotonically issued ids."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._counter = 0
+
+    def create(self, kind: str, key: str, total: int) -> Job:
+        with self._lock:
+            self._counter += 1
+            job = Job(f"job-{self._counter:06d}", kind, key, total)
+            self._jobs[job.id] = job
+            return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def summaries(self) -> List[Dict[str, Any]]:
+        """Payloads of every job, newest first (``GET /v1/jobs``)."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+        return [job.to_payload() for job in reversed(jobs)]
+
+    def counts(self) -> Dict[str, int]:
+        """Jobs per state, for ``/healthz``."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+        out = {state: 0 for state in JOB_STATES}
+        for job in jobs:
+            out[job.status] = out.get(job.status, 0) + 1
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)

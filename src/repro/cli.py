@@ -9,6 +9,7 @@ Examples::
     python -m repro sweep two-choices --axis n=10000,20000 --workers 4 --cache-dir .repro-cache --json
     python -m repro sweep two-choices --axis n=10000,20000 --executor distributed:7654 --cache-dir cache
     python -m repro worker --connect 127.0.0.1:7654
+    python -m repro serve --port 7680 --cache-dir .repro-cache --workers 4
     python -m repro run T6
     python -m repro run all --scale full --store results
     python -m repro show T6 --store results
@@ -177,6 +178,41 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="keep retrying the connection this long (the coordinator may start late, "
         "or restart after a crash and resume from its cache; default: 30)",
+    )
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the persistent simulation service: HTTP front door with a shared "
+        "result cache, request coalescing, and a bounded worker pool",
+    )
+    serve_cmd.add_argument("--port", type=int, default=7680, help="listen port (default: 7680)")
+    serve_cmd.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve_cmd.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        help="content-addressed result cache shared by all requests (default: .repro-cache)",
+    )
+    serve_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="cold-run worker threads draining the job queue (default: 2)",
+    )
+    serve_cmd.add_argument(
+        "--executor",
+        default="serial",
+        metavar="NAME[:HOST:PORT]",
+        help="executor backend each worker dispatches through: serial, process, or "
+        "distributed:HOST:PORT (default: serial)",
+    )
+    serve_cmd.add_argument(
+        "--queue-limit",
+        type=int,
+        default=256,
+        help="max queued cold jobs before new work is refused with 503 (default: 256)",
+    )
+    serve_cmd.add_argument(
+        "--verbose", action="store_true", help="log one line per HTTP request to stderr"
     )
 
     run_cmd = sub.add_parser("run", help="run one experiment (or 'all')")
@@ -495,6 +531,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .api.distributed import run_worker
 
         return run_worker(args.connect, connect_retry=args.connect_retry)
+
+    if args.command == "serve":
+        from .api.serve import run_server
+
+        return run_server(
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache_dir,
+            workers=args.workers,
+            executor=args.executor,
+            queue_limit=args.queue_limit,
+            verbose=args.verbose,
+        )
 
     if args.command == "run":
         scale = _resolve_scale(args)

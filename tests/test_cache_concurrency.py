@@ -1,0 +1,185 @@
+"""Concurrent ``ResultCache`` access: the atomic-write contract.
+
+The cache's concurrency story (ISSUE 8 satellite): writes go to a
+temp file in the destination directory and land via ``os.replace``, so
+two processes racing on one key simply overwrite each other with
+identical bytes, and a reader racing a writer sees either a miss or a
+complete, validated payload — never a torn or mismatched one.  These
+tests pin that contract: the rename-based commit, the no-partial-reads
+guarantee under a real multi-process race, and the absence of leftover
+temp files.
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.api import ResultCache, SimulationSpec, simulate, spec_key
+from repro.core.exceptions import ExperimentError
+
+WRITES_PER_PROCESS = 60
+
+
+def _spec(n=80, seed=9):
+    return SimulationSpec(
+        protocol="two-choices",
+        n=n,
+        initial="two-colors",
+        initial_params={"gap": n // 5},
+        reps=1,
+        seed=seed,
+        max_steps=40 * n,
+    )
+
+
+def _writer_process(directory, spec_payload, result_payload, start, writes):
+    """Re-put one precomputed payload *writes* times (separate process)."""
+    cache = ResultCache(directory)
+    spec = SimulationSpec.from_dict(spec_payload)
+    start.wait()
+    for _ in range(writes):
+        cache.put(spec, json.loads(result_payload))
+
+
+@pytest.fixture(scope="module")
+def payload():
+    spec = _spec()
+    return spec, simulate(spec).to_dict()
+
+
+class TestConcurrentAccess:
+    def test_two_processes_racing_one_key(self, tmp_path, payload):
+        """Two writers + an in-process reader on one key: no torn reads.
+
+        The reader uses ``memo_size=0`` so every ``get_payload`` is a
+        real file read; a torn or mismatched payload would surface as a
+        JSON decode miss (read as ``None`` mid-campaign — acceptable
+        only before the first commit) or an ``ExperimentError``.  After
+        the first observed hit, every read must hit: ``os.replace`` is
+        atomic, so the key never transitions back to missing.
+        """
+        spec, result_payload = payload
+        encoded = json.dumps(result_payload)
+        ctx = multiprocessing.get_context("spawn")
+        start = ctx.Event()
+        writers = [
+            ctx.Process(
+                target=_writer_process,
+                args=(str(tmp_path), spec.to_dict(), encoded, start, WRITES_PER_PROCESS),
+            )
+            for _ in range(2)
+        ]
+        for proc in writers:
+            proc.start()
+        reader = ResultCache(tmp_path)
+        start.set()
+        seen_hit = False
+        hits = 0
+        try:
+            while any(proc.is_alive() for proc in writers):
+                got = reader.get_payload(spec)  # raises on mismatch: test fails
+                if got is not None:
+                    assert got["spec"] == spec.to_dict()
+                    assert len(got["runs"]) == 1
+                    seen_hit = True
+                    hits += 1
+                else:
+                    assert not seen_hit, "key vanished after a successful read"
+        finally:
+            for proc in writers:
+                proc.join(60)
+                assert proc.exitcode == 0
+        final = reader.get_payload(spec)
+        assert final is not None and final["spec"] == spec.to_dict()
+        assert hits > 0
+
+    def test_no_temp_files_left_behind(self, tmp_path, payload):
+        spec, result_payload = payload
+        cache = ResultCache(tmp_path)
+        for _ in range(5):
+            cache.put(spec, dict(result_payload))
+        leftovers = [p for p in tmp_path.rglob("*") if p.is_file() and p.suffix != ".json"]
+        assert leftovers == []
+
+    def test_commit_goes_through_atomic_rename(self, tmp_path, payload, monkeypatch):
+        """Pin the mechanism, not just the outcome: one ``os.replace``
+        from a same-directory temp file per put, and no direct writes
+        to the destination path."""
+        spec, result_payload = payload
+        cache = ResultCache(tmp_path)
+        destination = cache.path_for(spec_key(spec))
+        replaces = []
+        real_replace = os.replace
+
+        def recording_replace(src, dst):
+            replaces.append((str(src), str(dst)))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", recording_replace)
+        cache.put(spec, dict(result_payload))
+        assert len(replaces) == 1
+        src, dst = replaces[0]
+        assert dst == str(destination)
+        assert os.path.dirname(src) == str(destination.parent)
+        assert src != dst
+
+    def test_failed_write_leaves_prior_entry_intact(self, tmp_path, payload, monkeypatch):
+        """A crash mid-commit must not take out the committed entry."""
+        spec, result_payload = payload
+        cache = ResultCache(tmp_path)
+        cache.put(spec, dict(result_payload))
+
+        def exploding_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            cache.put(spec, dict(result_payload))
+        monkeypatch.undo()
+        got = cache.get_payload(spec)
+        assert got is not None and got["spec"] == spec.to_dict()
+        leftovers = [p for p in tmp_path.rglob("*.tmp")]
+        assert leftovers == []
+
+    def test_interleaved_readers_share_one_memo_safely(self, tmp_path, payload):
+        """Threaded readers on a memoized cache: one shared payload."""
+        import threading
+
+        spec, result_payload = payload
+        cache = ResultCache(tmp_path, memo_size=8)
+        cache.put(spec, dict(result_payload))
+        outputs = [None] * 8
+
+        def read(index):
+            outputs[index] = cache.get_payload(spec)
+
+        threads = [threading.Thread(target=read, args=(i,)) for i in range(len(outputs))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        assert all(out is not None for out in outputs)
+        # All readers share the single memoized dict (read-only contract).
+        assert len({id(out) for out in outputs}) == 1
+
+    def test_corrupt_entry_is_never_served(self, tmp_path, payload):
+        spec, result_payload = payload
+        cache = ResultCache(tmp_path)
+        path = cache.put(spec, dict(result_payload))
+        stored = json.loads(path.read_text())
+        stored["result"]["spec"]["seed"] = 12345  # simulated collision
+        path.write_text(json.dumps(stored))
+        with pytest.raises(ExperimentError):
+            cache.get_payload(spec)
+
+    def test_truncated_entry_reads_as_miss(self, tmp_path, payload):
+        """A half-written file (no atomic rename) would look like this;
+        the reader treats it as a miss instead of serving garbage."""
+        spec, result_payload = payload
+        cache = ResultCache(tmp_path)
+        path = cache.put(spec, dict(result_payload))
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        assert cache.get_payload(spec) is None

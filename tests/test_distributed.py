@@ -527,3 +527,126 @@ class TestCliSurface:
             free_port = probe.getsockname()[1]
         assert run_worker(f"127.0.0.1:{free_port}", connect_retry=0.3, stream=stream) == 0
         assert "no coordinator" in stream.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# graceful worker drain (ISSUE 8 satellite): SIGTERM finishes the
+# in-flight point, sends the result, and exits 0
+# ---------------------------------------------------------------------------
+class TestWorkerDrain:
+    def test_drain_before_connect_exits_zero(self):
+        stream = io.StringIO()
+        drain = threading.Event()
+        drain.set()
+        assert run_worker("127.0.0.1:1", connect_retry=5.0, stream=stream, drain=drain) == 0
+        assert "SIGTERM" in stream.getvalue()
+        assert "0 point(s) served" in stream.getvalue()
+
+    def test_drain_during_connect_retry_exits_zero(self):
+        # Nothing listens here; the drain event must cut the retry loop
+        # short instead of waiting out the whole window.
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        stream = io.StringIO()
+        drain = threading.Event()
+        holder = {}
+
+        def serve():
+            holder["code"] = run_worker(
+                f"127.0.0.1:{free_port}", connect_retry=30.0, stream=stream, drain=drain
+            )
+
+        thread = threading.Thread(target=serve, daemon=True)
+        started = time.monotonic()
+        thread.start()
+        time.sleep(0.2)
+        drain.set()
+        thread.join(JOIN_TIMEOUT)
+        assert not thread.is_alive()
+        assert holder["code"] == 0
+        assert time.monotonic() - started < 10.0  # nowhere near the 30s window
+        assert "SIGTERM" in stream.getvalue()
+
+    def test_drain_mid_campaign_finishes_inflight_point(self):
+        """Drain lands between points: the worker books its in-flight
+        point with the coordinator, then exits 0 with the drained
+        message while a second worker completes the campaign."""
+        campaign = _campaign(ns=(300, 340, 380, 420))
+        serial = run_campaign(campaign)
+        stream = io.StringIO()
+        drain = threading.Event()
+        holder = {}
+        with DistributedExecutor(lease_timeout=15.0) as executor:
+            address = f"{executor.host}:{executor.port}"
+
+            def serve_draining():
+                holder["code"] = run_worker(
+                    address, connect_retry=10.0, stream=stream, drain=drain
+                )
+
+            first = threading.Thread(target=serve_draining, daemon=True)
+            first.start()
+            second = {}
+
+            def on_result(position, payload):
+                # First landed result: SIGTERM-equivalent for worker one,
+                # and a healthy worker joins to finish the remainder.
+                if not drain.is_set():
+                    drain.set()
+                    second["thread"] = _start_worker_thread(executor)
+
+            executor.progress_hook = on_result
+            distributed = run_campaign(campaign, executor=executor)
+            first.join(JOIN_TIMEOUT)
+            second["thread"].join(JOIN_TIMEOUT)
+        assert not first.is_alive()
+        assert holder["code"] == 0
+        message = stream.getvalue()
+        assert "SIGTERM" in message and "exiting" in message
+        assert _deterministic(distributed) == _deterministic(serial)
+
+    def test_subprocess_sigterm_drains_and_campaign_completes(self):
+        """The real signal path: SIGTERM a ``repro worker`` process mid-
+        campaign; it must exit 0 (not die on the default handler) while
+        the campaign completes on a second worker."""
+        campaign = _campaign(ns=(300, 340, 380, 420))
+        serial = run_campaign(campaign)
+        src = Path(repro.__file__).resolve().parents[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+        with DistributedExecutor(lease_timeout=15.0) as executor:
+            proc = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro", "worker",
+                    "--connect", f"{executor.host}:{executor.port}",
+                    "--connect-retry", "30",
+                ],
+                env=env,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            state = {}
+
+            def on_result(position, payload):
+                if "signalled" not in state:
+                    state["signalled"] = True
+                    proc.send_signal(signal.SIGTERM)
+                    state["thread"] = _start_worker_thread(executor)
+
+            executor.progress_hook = on_result
+            try:
+                distributed = run_campaign(campaign, executor=executor)
+                code = proc.wait(timeout=JOIN_TIMEOUT)
+                stderr = proc.stderr.read()
+            finally:
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait(timeout=30)
+                if "thread" in state:
+                    state["thread"].join(JOIN_TIMEOUT)
+        assert state.get("signalled")
+        assert code == 0, stderr
+        assert "SIGTERM" in stderr and "exiting" in stderr
+        assert _deterministic(distributed) == _deterministic(serial)
