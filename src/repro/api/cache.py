@@ -92,7 +92,7 @@ class ResultCache:
         if memo_size < 0:
             raise ConfigurationError(f"memo_size must be >= 0, got {memo_size}")
         self.memo_size = int(memo_size)
-        self._memo: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._memo: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()  # guarded-by: _memo_lock
         self._memo_lock = threading.Lock()
 
     # -- in-process memo ----------------------------------------------

@@ -181,16 +181,16 @@ class _CampaignState:
         self.lease_timeout = lease_timeout
         self.max_retries = max_retries
         self.cond = threading.Condition()
-        self.pending: deque = deque(range(len(payloads)))
-        self.leases: Dict[int, Tuple[str, float]] = {}
-        self.done: Dict[int, Dict[str, Any]] = {}
-        self.attempts: Dict[int, int] = {}
-        self.fatal: Optional[str] = None
-        self.workers: set = set()
-        self.workers_seen = 0
-        self.requeued = 0
-        self.retried = 0
-        self.duplicates = 0
+        self.pending: deque = deque(range(len(payloads)))  # guarded-by: cond
+        self.leases: Dict[int, Tuple[str, float]] = {}  # guarded-by: cond
+        self.done: Dict[int, Dict[str, Any]] = {}  # guarded-by: cond
+        self.attempts: Dict[int, int] = {}  # guarded-by: cond
+        self.fatal: Optional[str] = None  # guarded-by: cond
+        self.workers: set = set()  # guarded-by: cond
+        self.workers_seen = 0  # guarded-by: cond
+        self.requeued = 0  # guarded-by: cond
+        self.retried = 0  # guarded-by: cond
+        self.duplicates = 0  # guarded-by: cond
         # Called (outside the lock) with (index, payload) as each result
         # lands, in completion order — run_campaign persists to the
         # cache here, which is what bounds a coordinator crash to the

@@ -48,7 +48,7 @@ class SingleFlight:
 
     def __init__(self):
         self._lock = threading.Lock()
-        self._flights: Dict[str, Flight] = {}
+        self._flights: Dict[str, Flight] = {}  # guarded-by: _lock
 
     def join(
         self, key: str, on_lead: Optional[Callable[[Flight], None]] = None

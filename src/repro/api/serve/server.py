@@ -129,7 +129,7 @@ class ServeStats:
 
     def __init__(self):
         self._lock = threading.Lock()
-        self._counts = {name: 0 for name in self.FIELDS}
+        self._counts = {name: 0 for name in self.FIELDS}  # guarded-by: _lock
 
     def bump(self, name: str, by: int = 1) -> None:
         with self._lock:
@@ -217,7 +217,7 @@ class SimulationService:
         self.queue_limit = int(queue_limit)
         self.queue: "queue.Queue" = queue.Queue(maxsize=queue_limit + workers)
         self.draining = threading.Event()
-        self.started_at = time.time()
+        self.started_at = time.monotonic()  # uptime baseline, never rendered as a date
         self.executor_spec = str(executor)
         # Validate the executor string eagerly (unknown names should
         # fail at startup, not on the first cold request); a distributed
@@ -230,15 +230,14 @@ class SimulationService:
         else:
             resolve_executor(self.executor_spec)
         self._threads = []
-        self._active_lock = threading.Lock()
-        self._active_requests = 0
-        self._idle = threading.Condition(self._active_lock)
+        self._idle = threading.Condition()
+        self._active_requests = 0  # guarded-by: _idle
         # Finished campaign aggregates, keyed by campaign content hash.
         # Points live in the ResultCache; the aggregate is a pure
         # function of the campaign spec, so memoizing it gives repeated
         # campaign POSTs (and async GET /v1/results/<key> retrieval) a
         # warm path without re-walking every point.
-        self._campaign_memo: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._campaign_memo: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()  # guarded-by: _campaign_memo_lock
         self._campaign_memo_lock = threading.Lock()
         self.campaign_memo_size = 64
         self.start()
@@ -278,7 +277,7 @@ class SimulationService:
 
     # -- request accounting (drain waits for responses in progress) ---
     def request_started(self) -> None:
-        with self._active_lock:
+        with self._idle:
             self._active_requests += 1
 
     def request_finished(self) -> None:
@@ -473,7 +472,10 @@ class SimulationService:
         progress = _ProgressCache(self.cache, job)
         if self._shared_executor is not None:
             with self._executor_lock:
-                result = run_campaign(campaign, executor=self._shared_executor, cache=progress)
+                # The shared distributed coordinator is single-campaign by
+                # design: _executor_lock exists to serialize whole runs, so
+                # holding it across the run is the point, not a hazard.
+                result = run_campaign(campaign, executor=self._shared_executor, cache=progress)  # repro: lint-ignore[REPRO-L002] serializing runs is this lock's purpose
         else:
             result = run_campaign(campaign, executor=self.executor_spec, cache=progress)
         out = result.to_dict()
@@ -490,7 +492,9 @@ class SimulationService:
         """One batch through the configured ``map_payloads`` backend."""
         if self._shared_executor is not None:
             with self._executor_lock:
-                results = list(self._shared_executor.map_payloads(payloads))
+                # Same contract as _run_campaign: the shared coordinator
+                # socket handles one batch at a time, serialized here.
+                results = list(self._shared_executor.map_payloads(payloads))  # repro: lint-ignore[REPRO-L002] serializing batches is this lock's purpose
         else:
             executor = resolve_executor(self.executor_spec)
             try:
@@ -517,7 +521,7 @@ class SimulationService:
     def health_payload(self) -> Dict[str, Any]:
         return {
             "status": "draining" if self.draining.is_set() else "ok",
-            "uptime_seconds": time.time() - self.started_at,
+            "uptime_seconds": time.monotonic() - self.started_at,
             "workers": self.workers,
             "executor": self.executor_spec,
             "queue_depth": self.queue.qsize(),

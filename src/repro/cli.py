@@ -17,6 +17,8 @@ Examples::
     python -m repro engines --quick --out BENCH_engines.json
     python -m repro sparse --quick --out BENCH_sparse.json
     python -m repro kernels --quick --out BENCH_kernels.json
+    python -m repro lint src/repro
+    python -m repro lint src/repro --select REPRO-R002,REPRO-H003 --json
 """
 
 from __future__ import annotations
@@ -258,6 +260,15 @@ def build_parser() -> argparse.ArgumentParser:
     from .bench.perf_kernels import add_cli_arguments as add_kernels_cli_arguments
 
     add_kernels_cli_arguments(kernels_cmd)
+
+    lint_cmd = sub.add_parser(
+        "lint",
+        help="run the contract-aware static analysis (RNG/hash/clock/lock/purity rules) "
+        "over source paths",
+    )
+    from .devtools.lint import add_cli_arguments as add_lint_cli_arguments
+
+    add_lint_cli_arguments(lint_cmd)
     return parser
 
 
@@ -508,6 +519,14 @@ def _print_registries() -> None:
         doc = (EXECUTORS[name].__doc__ or "").strip()
         rows.append([name, doc.splitlines()[0] if doc else "-"])
     print(format_table(["executor", "description"], rows))
+    print()
+    print("lint rules (repro lint --select):")
+    from .devtools.lint import iter_rules
+
+    rows = []
+    for rule in iter_rules():
+        rows.append([rule.rule_id, "on" if rule.default else "off", rule.description])
+    print(format_table(["rule", "default", "description"], rows))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -591,6 +610,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .bench.perf_kernels import run_cli as run_kernels_cli
 
         return run_kernels_cli(args, parser.error)
+
+    if args.command == "lint":
+        from .devtools.lint import run_cli as run_lint_cli
+
+        return run_lint_cli(args, parser.error)
 
     if args.command == "schedule":
         schedule = PhaseSchedule.compile(args.n, sync_enabled=not args.no_sync)

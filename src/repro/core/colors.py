@@ -21,6 +21,7 @@ from typing import Iterable, Sequence, Tuple
 import numpy as np
 
 from .exceptions import ConfigurationError
+from .rng import as_generator
 
 __all__ = ["ColorConfiguration", "counts_from_assignment", "assignment_from_counts"]
 
@@ -184,10 +185,17 @@ def assignment_from_counts(config: ColorConfiguration, rng: np.random.Generator 
     By default the assignment is shuffled (node identity carries no
     information, matching the mean-field setting of the paper); pass
     ``shuffle=False`` for a deterministic block layout.
+
+    Fallback contract: the shuffle draws from *rng* when given.  With
+    ``rng=None`` the stream is coerced via
+    :func:`repro.core.rng.as_generator`, whose ``None`` branch is the
+    repo's single sanctioned OS-entropy fallback — deterministic
+    callers (everything reached from a spec) must pass their own
+    generator.
     """
     parts = [np.full(c, j, dtype=np.int64) for j, c in enumerate(config.counts)]
     colors = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
     if shuffle:
-        generator = rng if rng is not None else np.random.default_rng()
+        generator = as_generator(rng)
         generator.shuffle(colors)
     return colors

@@ -17,7 +17,7 @@ adding a new consumer with a fresh key never perturbs existing streams.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import List, Union, cast
 
 import numpy as np
 
@@ -63,7 +63,9 @@ def split(seed: SeedLike, key: str) -> np.random.Generator:
     mutually independent.
     """
     if isinstance(seed, np.random.Generator):
-        return np.random.default_rng(seed.bit_generator.seed_seq.spawn(1)[0])
+        # numpy stubs type .seed_seq as ISeedSequence, which lacks spawn
+        seed_seq = cast(np.random.SeedSequence, seed.bit_generator.seed_seq)
+        return np.random.default_rng(seed_seq.spawn(1)[0])
     material = _key_material(key)
     if seed is None:
         return np.random.default_rng()
@@ -74,7 +76,7 @@ def split(seed: SeedLike, key: str) -> np.random.Generator:
     return np.random.default_rng(np.random.SeedSequence(entropy=int(seed), spawn_key=(material,)))
 
 
-def spawn_seeds(seed: SeedLike, count: int) -> list:
+def spawn_seeds(seed: SeedLike, count: int) -> List[int]:
     """Produce *count* independent integer seeds for trial replication.
 
     Used by the experiment harness: each trial gets its own seed so
@@ -89,7 +91,7 @@ def spawn_seeds(seed: SeedLike, count: int) -> list:
     return [int(s) for s in rng.integers(0, 2**63 - 1, size=count)]
 
 
-def spawn_seed_sequences(seed: SeedLike, count: int) -> list:
+def spawn_seed_sequences(seed: SeedLike, count: int) -> List[np.random.SeedSequence]:
     """*count* independent :class:`numpy.random.SeedSequence` children.
 
     This is the replication-seeding primitive of the experiment
@@ -105,7 +107,8 @@ def spawn_seed_sequences(seed: SeedLike, count: int) -> list:
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
     if isinstance(seed, np.random.Generator):
-        return list(seed.bit_generator.seed_seq.spawn(count))
+        seed_seq = cast(np.random.SeedSequence, seed.bit_generator.seed_seq)
+        return list(seed_seq.spawn(count))
     if isinstance(seed, np.random.SeedSequence):
         # Rebuild so the call is pure: spawning mutates the parent's
         # child counter, and we want the same children every time.
@@ -119,7 +122,10 @@ def spawn_seed_sequences(seed: SeedLike, count: int) -> list:
 
 def random_seed() -> int:
     """Return a fresh integer seed from OS entropy (for logging/replay)."""
-    return int(np.random.SeedSequence().entropy % (2**63 - 1))
+    # entropy is Optional[int | Sequence[int]] in the stubs, but a
+    # fresh SeedSequence always carries an int
+    entropy = cast(int, np.random.SeedSequence().entropy)
+    return int(entropy % (2**63 - 1))
 
 
 def _key_material(key: str) -> int:

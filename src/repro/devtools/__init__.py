@@ -1,0 +1,13 @@
+"""Developer tooling that ships with the library.
+
+The only resident so far is :mod:`repro.devtools.lint` — the
+contract-aware static analysis behind ``python -m repro lint``.  It is
+deliberately stdlib-only (``ast`` + ``re``): the lint CI job must be
+able to *parse* the whole tree without executing it, and the one rule
+that does import the package (the registry-signature audit) degrades to
+a no-op when the runtime dependencies are absent.
+"""
+
+from .lint import Finding, Rule, iter_rules, lint_paths, lint_source
+
+__all__ = ["Finding", "Rule", "iter_rules", "lint_paths", "lint_source"]

@@ -1,0 +1,437 @@
+"""Contract-aware static analysis (``python -m repro lint``).
+
+The repo's core guarantee — serial == process == distributed ==
+warm-cache, value-for-value (DESIGN.md §2.5/§2.8) — rests on
+conventions that used to live only in prose: all randomness flows
+through :mod:`repro.core.rng`, cache keys hash canonical JSON only,
+serve/distributed shared state is touched only under its lock, and the
+hazard-batched ``tick_values`` hook is pure.  This module machine-checks
+them with an AST-based rule set (DESIGN.md §2.10 maps every rule ID to
+the contract it enforces):
+
+=============  ==========================================================
+rule family    contract
+=============  ==========================================================
+REPRO-R00x     RNG discipline: no global seeding, no unseeded generator
+               construction outside the rng seam, no legacy global-state
+               draws, no module-level RNG state
+REPRO-H00x     hash/cache hygiene on the spec-canonicalization key path:
+               no ``hash()``/``id()``, no un-``sort_keys`` ``json.dumps``,
+               no set iteration
+REPRO-C00x     clock discipline in serve/distributed: ``time.monotonic``
+               for deadlines and leases, wall time for display only
+REPRO-L00x     lock discipline: ``# guarded-by: <lock>`` fields accessed
+               only under ``with self.<lock>``; no blocking call while a
+               lock is held
+REPRO-P00x     purity contracts: ``tick_values`` mutates nothing and
+               draws nothing; registered ``ParamSpec`` metadata matches
+               factory signatures (import-time introspection)
+=============  ==========================================================
+
+Suppress a finding on its line with ``# repro: lint-ignore[RULE-ID]``
+(comma-separate several ids; anything after the bracket is a free-form
+reason).  Suppressions are per-line and deliberate — the sweep that
+introduced the linter fixed every finding it could and annotated the
+rest with reasons, so a new finding is always news.
+
+The framework is pluggable: a rule is a function registered with
+:func:`register_rule`, either per-module (receives a
+:class:`ModuleContext`) or per-invocation (``scope="project"``, receives
+the linted file list).  ``repro list`` prints the registry.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "ModuleContext",
+    "LintUsageError",
+    "register_rule",
+    "load_rules",
+    "iter_rules",
+    "lint_source",
+    "lint_paths",
+    "add_cli_arguments",
+    "run_cli",
+]
+
+#: ``# repro: lint-ignore[REPRO-X000, REPRO-Y000] optional reason``
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*lint-ignore\[([A-Za-z0-9_\-,\s\*]+)\]")
+
+#: Pseudo-rule id for files the parser rejects (always reported).
+PARSE_RULE = "REPRO-E000"
+
+
+class LintUsageError(ValueError):
+    """Bad invocation (unknown rule id, missing path) — exit code 2."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def format_github(self) -> str:
+        """GitHub Actions ``::error`` annotation form."""
+        return (
+            f"::error file={self.path},line={self.line},col={self.col},"
+            f"title={self.rule}::{self.message}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered checker.
+
+    ``scope`` is ``"module"`` (``check(ctx: ModuleContext)``, run once
+    per file) or ``"project"`` (``check(files: Sequence[Path])``, run
+    once per invocation — used by checks that need to *import* the
+    package, like the registry-signature audit).
+    """
+
+    rule_id: str
+    description: str
+    check: Callable
+    scope: str = "module"
+    default: bool = True
+
+
+_RULES: Dict[str, Rule] = {}
+
+
+def register_rule(rule_id: str, description: str, *, scope: str = "module", default: bool = True):
+    """Decorator: register a checker under *rule_id*."""
+
+    def _register(fn: Callable) -> Callable:
+        if rule_id in _RULES:
+            raise ValueError(f"duplicate lint rule id {rule_id!r}")
+        _RULES[rule_id] = Rule(rule_id, description, fn, scope=scope, default=default)
+        return fn
+
+    return _register
+
+
+def load_rules() -> Dict[str, Rule]:
+    """Import the shipped rule modules (idempotent); return the registry."""
+    from . import (  # noqa: F401 - imported for their registration side effect
+        rules_clock,
+        rules_hash,
+        rules_locks,
+        rules_purity,
+        rules_rng,
+    )
+
+    return dict(_RULES)
+
+
+def iter_rules() -> List[Rule]:
+    """Every registered rule, sorted by id (the ``repro list`` section)."""
+    rules = load_rules()
+    return [rules[rule_id] for rule_id in sorted(rules)]
+
+
+# ---------------------------------------------------------------------------
+# module context: what a module-scope rule sees
+# ---------------------------------------------------------------------------
+def module_name(path) -> Optional[str]:
+    """Derive the dotted module name by walking up ``__init__.py`` dirs.
+
+    ``src/repro/api/cache.py`` → ``repro.api.cache``; returns ``None``
+    for paths outside any package (rules then apply their broadest
+    scope interpretation, which for path-scoped rules means *skip*).
+    """
+    p = Path(path)
+    if p.suffix != ".py":
+        return None
+    parts = [] if p.name == "__init__.py" else [p.stem]
+    directory = p.parent
+    while (directory / "__init__.py").exists():
+        parts.insert(0, directory.name)
+        parent = directory.parent
+        if parent == directory:
+            break
+        directory = parent
+    return ".".join(parts) if parts else None
+
+
+def parse_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """Map 1-based line number → suppressed rule ids on that line."""
+    out: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            ids = {token.strip() for token in match.group(1).split(",") if token.strip()}
+            if ids:
+                out[lineno] = ids
+    return out
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def collect_aliases(tree: ast.AST, module: Optional[str], is_package: bool = False) -> Dict[str, str]:
+    """Local name → absolute dotted target, from the import statements.
+
+    ``import numpy as np`` binds ``np → numpy``; ``from numpy.random
+    import default_rng`` binds ``default_rng → numpy.random.default_rng``;
+    relative imports resolve against *module* when it is known.
+    """
+    aliases: Dict[str, str] = {}
+    parts = module.split(".") if module else []
+    package = parts if is_package else parts[:-1]
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                if not package or node.level - 1 > len(package):
+                    continue
+                prefix = package[: len(package) - (node.level - 1)]
+                base = ".".join(prefix + ([node.module] if node.module else []))
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                aliases[bound] = f"{base}.{alias.name}" if base else alias.name
+    return aliases
+
+
+class ModuleContext:
+    """Parsed source plus everything module-scope rules share."""
+
+    def __init__(self, source: str, path="<string>", module: Optional[str] = None):
+        self.source = source
+        self.path = str(path)
+        self.module = module if module is not None else module_name(self.path)
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=self.path)
+        self.suppressions = parse_suppressions(self.lines)
+        is_package = self.path.endswith("__init__.py")
+        self.aliases = collect_aliases(self.tree, self.module, is_package=is_package)
+
+    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule_id,
+            self.path,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0),
+            message,
+        )
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted name of *node* with import aliases expanded."""
+        name = dotted_name(node)
+        if name is None:
+            return None
+        head, sep, rest = name.partition(".")
+        target = self.aliases.get(head, head)
+        return f"{target}.{rest}" if sep else target
+
+
+# ---------------------------------------------------------------------------
+# running rules
+# ---------------------------------------------------------------------------
+def _select_rules(rules: Dict[str, Rule], select: Optional[Sequence[str]]) -> List[Rule]:
+    if select is None:
+        return [rules[rule_id] for rule_id in sorted(rules) if rules[rule_id].default]
+    unknown = sorted(set(select) - set(rules))
+    if unknown:
+        raise LintUsageError(
+            f"unknown lint rule(s) {unknown}; registered: {', '.join(sorted(rules))}"
+        )
+    return [rules[rule_id] for rule_id in sorted(set(select))]
+
+
+def _suppressed(finding: Finding, table: Dict[str, Dict[int, Set[str]]]) -> bool:
+    ids = table.get(finding.path, {}).get(finding.line)
+    return bool(ids) and (finding.rule in ids or "*" in ids)
+
+
+def lint_source(
+    source: str,
+    path="<string>",
+    module: Optional[str] = None,
+    select: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Run the module-scope rules over one source string.
+
+    The fixture-level entry point the linter's own tests use: *module*
+    forces the dotted-module scope (e.g. ``"repro.api.cache"``) without
+    needing a real file on disk.  Suppression comments in *source* are
+    honoured.  Project-scope rules (which import the installed package)
+    do not run here — use :func:`lint_paths`.
+    """
+    rules = load_rules()
+    selected = _select_rules(rules, select)
+    ctx = ModuleContext(source, path=path, module=module)
+    findings: List[Finding] = []
+    for rule in selected:
+        if rule.scope != "module":
+            continue
+        findings.extend(rule.check(ctx))
+    table = {ctx.path: ctx.suppressions}
+    return sorted((f for f in findings if not _suppressed(f, table)), key=Finding.sort_key)
+
+
+def iter_python_files(paths: Sequence) -> List[Path]:
+    """Expand files/directories into the sorted ``.py`` file list."""
+    out: List[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            out.extend(
+                sorted(f for f in p.rglob("*.py") if "__pycache__" not in f.parts)
+            )
+        elif p.is_file():
+            if p.suffix == ".py":
+                out.append(p)
+        else:
+            raise LintUsageError(f"no such file or directory: {raw}")
+    return out
+
+
+def lint_paths(
+    paths: Sequence, select: Optional[Sequence[str]] = None
+) -> Tuple[List[Finding], int]:
+    """Lint files/directories; returns ``(findings, files_checked)``.
+
+    Module-scope rules run per file; project-scope rules run once and
+    their findings are kept only when they land in a linted file (so
+    linting a single module never surfaces repo-wide noise).  Files the
+    parser rejects yield one ``REPRO-E000`` finding instead of aborting
+    the run.
+    """
+    rules = load_rules()
+    selected = _select_rules(rules, select)
+    files = iter_python_files(paths)
+    findings: List[Finding] = []
+    table: Dict[str, Dict[int, Set[str]]] = {}
+    real_to_given: Dict[str, str] = {}
+    for path in files:
+        given = str(path)
+        real_to_given[str(path.resolve())] = given
+        try:
+            source = path.read_text(encoding="utf-8")
+            ctx = ModuleContext(source, path=given)
+        except (SyntaxError, ValueError, UnicodeDecodeError) as exc:
+            lineno = getattr(exc, "lineno", None) or 1
+            findings.append(Finding(PARSE_RULE, given, int(lineno), 0, f"unparseable: {exc}"))
+            continue
+        table[given] = ctx.suppressions
+        for rule in selected:
+            if rule.scope == "module":
+                findings.extend(rule.check(ctx))
+    for rule in selected:
+        if rule.scope != "project":
+            continue
+        for finding in rule.check(files):
+            given = real_to_given.get(str(Path(finding.path).resolve()))
+            if given is None:
+                continue  # outside the linted set
+            findings.append(
+                Finding(finding.rule, given, finding.line, finding.col, finding.message)
+            )
+    kept = [f for f in findings if not _suppressed(f, table)]
+    return sorted(kept, key=Finding.sort_key), len(files)
+
+
+# ---------------------------------------------------------------------------
+# CLI (`python -m repro lint`)
+# ---------------------------------------------------------------------------
+def add_cli_arguments(parser) -> None:
+    """Options for the ``lint`` subcommand (single source of truth)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULE,...",
+        help="comma-separated rule ids to run (default: every default-on rule; "
+        "see 'repro list' for the registry)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit {version, files, count, findings} as JSON on stdout",
+    )
+    parser.add_argument(
+        "--github",
+        action="store_true",
+        help="also emit findings as GitHub Actions ::error annotations",
+    )
+
+
+def run_cli(args, error) -> int:
+    """Execute the parsed ``lint`` args; exit 0 clean, 1 findings, 2 usage."""
+    select = None
+    if args.select:
+        select = [token.strip() for token in args.select.split(",") if token.strip()]
+    try:
+        findings, files_checked = lint_paths(args.paths, select=select)
+    except LintUsageError as exc:
+        error(str(exc))  # argparse error(): prints usage and exits 2
+        return 2
+    if args.json:
+        payload = {
+            "version": 1,
+            "files": files_checked,
+            "count": len(findings),
+            "findings": [f.to_dict() for f in findings],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for finding in findings:
+            print(finding.format())
+    if args.github:
+        for finding in findings:
+            print(finding.format_github())
+    print(
+        f"repro lint: {len(findings)} finding(s) in {files_checked} file(s)",
+        file=sys.stderr,
+    )
+    return 1 if findings else 0

@@ -1,0 +1,47 @@
+"""Clock discipline rule (``REPRO-C001``).
+
+Contract (DESIGN.md §2.10): deadlines, leases, and timeouts in the
+serve and distributed layers are computed on :func:`time.monotonic`,
+which NTP cannot step backwards.  :func:`time.time` is permitted only
+for wall-clock *display* fields (created/started/finished timestamps in
+API payloads), and every such use carries an explicit
+``# repro: lint-ignore[REPRO-C001]`` with its reason — so the exception
+list is visible in the diff, not folklore.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from .lint import Finding, ModuleContext, register_rule
+
+__all__ = []
+
+
+def _in_scope(ctx: ModuleContext) -> bool:
+    if ctx.module is None:
+        return False
+    return ctx.module == "repro.api.distributed" or ctx.module.startswith("repro.api.serve")
+
+
+@register_rule(
+    "REPRO-C001",
+    "time.time() in serve/distributed: monotonic for deadlines, wall time display-only",
+)
+def no_wall_clock_deadlines(ctx: ModuleContext) -> List[Finding]:
+    if not _in_scope(ctx):
+        return []
+    out = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call) and ctx.resolve(node.func) == "time.time":
+            out.append(
+                ctx.finding(
+                    "REPRO-C001",
+                    node,
+                    "time.time() steps with NTP; use time.monotonic() for "
+                    "deadlines/leases/timeouts, and suppress with a reason when the "
+                    "value is a display-only wall-clock field",
+                )
+            )
+    return out

@@ -1,0 +1,150 @@
+"""Hash/cache hygiene rules (``REPRO-H00x``).
+
+Contract (DESIGN.md §2.10): the cache key path — spec canonicalization
+in :mod:`repro.api.spec` and the key/payload plumbing in
+:mod:`repro.api.cache`, :mod:`repro.api.campaign`, and
+:mod:`repro.api.results` — must be a pure function of the spec's
+*value*.  Python's ``hash()`` is salted per process (``PYTHONHASHSEED``),
+``id()`` is an address, set iteration order is hash order, and
+``json.dumps`` without ``sort_keys=True`` leaks dict insertion order.
+Any of these in the key path silently turns the warm-cache guarantee
+into a per-process coin flip.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from .lint import Finding, ModuleContext, register_rule
+
+__all__ = ["KEY_PATH_MODULES"]
+
+#: Modules that participate in cache-key construction.
+KEY_PATH_MODULES = {
+    "repro.api.spec",
+    "repro.api.cache",
+    "repro.api.campaign",
+    "repro.api.results",
+}
+
+
+def _in_scope(ctx: ModuleContext) -> bool:
+    return ctx.module in KEY_PATH_MODULES
+
+
+def _has_sort_keys(call: ast.Call) -> bool:
+    for keyword in call.keywords:
+        if keyword.arg == "sort_keys":
+            return isinstance(keyword.value, ast.Constant) and keyword.value.value is True
+    return False
+
+
+@register_rule(
+    "REPRO-H001",
+    "no hash() in the cache-key path",
+)
+def no_builtin_hash(ctx: ModuleContext) -> List[Finding]:
+    if not _in_scope(ctx):
+        return []
+    out = []
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "hash"
+        ):
+            out.append(
+                ctx.finding(
+                    "REPRO-H001",
+                    node,
+                    "hash() is salted per process (PYTHONHASHSEED); derive keys from "
+                    "hashlib over canonical JSON instead",
+                )
+            )
+    return out
+
+
+@register_rule(
+    "REPRO-H002",
+    "no id() in the cache-key path",
+)
+def no_builtin_id(ctx: ModuleContext) -> List[Finding]:
+    if not _in_scope(ctx):
+        return []
+    out = []
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "id"
+        ):
+            out.append(
+                ctx.finding(
+                    "REPRO-H002",
+                    node,
+                    "id() is a memory address, unstable across runs; key on the "
+                    "spec's canonical value instead",
+                )
+            )
+    return out
+
+
+@register_rule(
+    "REPRO-H003",
+    "json.dumps in the cache-key path must pass sort_keys=True",
+)
+def dumps_must_sort(ctx: ModuleContext) -> List[Finding]:
+    if not _in_scope(ctx):
+        return []
+    out = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = ctx.resolve(node.func)
+        if name in ("json.dumps", "json.dump") and not _has_sort_keys(node):
+            out.append(
+                ctx.finding(
+                    "REPRO-H003",
+                    node,
+                    f"{name}() without sort_keys=True serializes dict insertion "
+                    "order; cache keys must canonicalize",
+                )
+            )
+    return out
+
+
+def _is_set_expr(ctx: ModuleContext, node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = ctx.resolve(node.func)
+        return name in ("set", "frozenset")
+    return False
+
+
+@register_rule(
+    "REPRO-H004",
+    "no iteration over set literals/constructors in the cache-key path",
+)
+def no_set_iteration(ctx: ModuleContext) -> List[Finding]:
+    if not _in_scope(ctx):
+        return []
+    out = []
+    for node in ast.walk(ctx.tree):
+        iters = []
+        if isinstance(node, ast.For):
+            iters.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            iters.extend(gen.iter for gen in node.generators)
+        for it in iters:
+            if _is_set_expr(ctx, it):
+                out.append(
+                    ctx.finding(
+                        "REPRO-H004",
+                        it,
+                        "set iteration order is hash order; sort before iterating "
+                        "in the cache-key path",
+                    )
+                )
+    return out

@@ -1,0 +1,214 @@
+"""Lock discipline rules (``REPRO-L00x``).
+
+Contract (DESIGN.md §2.10): shared mutable state in the serve and
+distributed layers carries a ``# guarded-by: <lockname>`` comment, and
+the linter proves two properties over every method body:
+
+* **REPRO-L001** — an annotated field is touched only inside
+  ``with self.<lockname>:`` (or from a ``*_locked`` method, whose name
+  is the repo convention for "caller already holds the lock").
+* **REPRO-L002** — no blocking call (socket recv/accept, subprocess,
+  ``time.sleep``, an engine run, a nested executor round-trip) happens
+  while a ``self.*`` lock is held.  ``Condition.wait`` / ``wait_for``
+  on the *held* condition is exempt — waiting releases it.
+
+Only ``self.<attr>`` locks are tracked: a function-local lock (like the
+per-connection ``write_lock`` in the distributed worker) serializes a
+single resource by construction and stays out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Set
+
+from .lint import Finding, ModuleContext, register_rule
+
+__all__ = []
+
+_GUARD_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+_SELF_ATTR_RE = re.compile(r"self\.([A-Za-z_][A-Za-z0-9_]*)")
+_FIELD_DECL_RE = re.compile(r"^\s*([A-Za-z_][A-Za-z0-9_]*)\s*[:=]")
+
+#: Method/attribute names whose call can park the thread.
+_BLOCKING_ATTRS = {
+    "accept", "connect", "recv", "recv_into", "recvfrom", "sendall",
+    "makefile", "recv_frame", "send_frame", "join", "wait", "wait_for",
+    "sleep", "map_payloads", "run_campaign", "execute_spec_payload",
+    "simulate", "run", "check_call", "check_output",
+}
+
+#: Resolved-name prefixes that are blocking regardless of attribute.
+_BLOCKING_PREFIXES = ("subprocess.",)
+
+#: Resolved names never considered blocking even though the attribute
+#: matches (``os.path.join`` vs ``Thread.join``).
+_SAFE_RESOLVED_PREFIXES = ("os.path.", "posixpath.", "ntpath.", "str.")
+
+#: Specific enough to flag even when called as a bare name
+#: (``run_campaign(...)`` imported via ``from ..campaign import ...``).
+_BLOCKING_NAMES = {"run_campaign", "map_payloads", "execute_spec_payload", "sleep"}
+
+
+def _class_guards(ctx: ModuleContext, cls: ast.ClassDef) -> Dict[str, str]:
+    """``field → lockname`` from guarded-by comments in the class body."""
+    guards: Dict[str, str] = {}
+    end = getattr(cls, "end_lineno", None) or cls.lineno
+    for lineno in range(cls.lineno, min(end, len(ctx.lines)) + 1):
+        line = ctx.lines[lineno - 1]
+        guard = _GUARD_RE.search(line)
+        if not guard:
+            continue
+        field = _SELF_ATTR_RE.search(line)
+        if field:
+            guards[field.group(1)] = guard.group(1)
+            continue
+        decl = _FIELD_DECL_RE.match(line)
+        if decl:
+            guards[decl.group(1)] = guard.group(1)
+    return guards
+
+
+def _lock_attr(expr: ast.AST, locknames: Set[str]) -> Optional[str]:
+    """The ``X`` of a ``with self.X:`` item when X plausibly is a lock."""
+    if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+        if expr.value.id == "self":
+            name = expr.attr
+            if name in locknames or "lock" in name.lower() or name == "cond":
+                return name
+    return None
+
+
+def _walk_method(nodes, held: Set[str], locknames: Set[str], visit) -> None:
+    """Visit every node with the set of currently-held locks.
+
+    Nested function/class definitions are skipped: closures may run
+    after the lock is released, so charging them to the enclosing
+    ``with`` would be wrong in both directions.
+    """
+    for node in nodes:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
+            continue
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired: Set[str] = set()
+            for item in node.items:
+                _walk_method([item.context_expr], held, locknames, visit)
+                lock = _lock_attr(item.context_expr, locknames)
+                if lock:
+                    acquired.add(lock)
+            _walk_method(node.body, held | acquired, locknames, visit)
+            continue
+        visit(node, held)
+        _walk_method(list(ast.iter_child_nodes(node)), held, locknames, visit)
+
+
+def _methods(cls: ast.ClassDef):
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield stmt
+
+
+def _initial_held(method, guards: Dict[str, str]) -> Set[str]:
+    if method.name.endswith("_locked"):
+        return set(guards.values()) or {"_lock", "cond"}
+    return set()
+
+
+@register_rule(
+    "REPRO-L001",
+    "guarded-by fields accessed only under their lock",
+)
+def guarded_fields_need_lock(ctx: ModuleContext) -> List[Finding]:
+    out: List[Finding] = []
+    for cls in ast.walk(ctx.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        guards = _class_guards(ctx, cls)
+        if not guards:
+            continue
+        locknames = set(guards.values())
+        for method in _methods(cls):
+            if method.name == "__init__":
+                continue  # construction precedes sharing
+
+            def visit(node, held, _method=method):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                    and node.attr in guards
+                    and guards[node.attr] not in held
+                ):
+                    out.append(
+                        ctx.finding(
+                            "REPRO-L001",
+                            node,
+                            f"self.{node.attr} is guarded-by {guards[node.attr]} but "
+                            f"accessed outside 'with self.{guards[node.attr]}' in "
+                            f"{_method.name}()",
+                        )
+                    )
+
+            _walk_method(method.body, _initial_held(method, guards), locknames, visit)
+    return out
+
+
+def _in_scope(ctx: ModuleContext) -> bool:
+    if ctx.module is None:
+        return False
+    return ctx.module == "repro.api.distributed" or ctx.module.startswith("repro.api.serve")
+
+
+def _is_blocking(ctx: ModuleContext, call: ast.Call, held: Set[str]) -> Optional[str]:
+    """A human-readable label when *call* can block, else ``None``."""
+    resolved = ctx.resolve(call.func) or ""
+    if resolved == "time.sleep" or resolved.startswith(_BLOCKING_PREFIXES):
+        return resolved
+    if resolved.startswith(_SAFE_RESOLVED_PREFIXES):
+        return None
+    if isinstance(call.func, ast.Name) and resolved.rpartition(".")[2] in _BLOCKING_NAMES:
+        return f"{resolved}()"
+    if isinstance(call.func, ast.Attribute) and call.func.attr in _BLOCKING_ATTRS:
+        receiver = call.func.value
+        if isinstance(receiver, ast.Constant):
+            return None  # "sep".join(...) and friends
+        if call.func.attr in ("wait", "wait_for"):
+            lock = _lock_attr(receiver, held)
+            if lock is not None and lock in held:
+                return None  # Condition.wait releases the held lock
+        return f".{call.func.attr}()"
+    return None
+
+
+@register_rule(
+    "REPRO-L002",
+    "no blocking call while holding a lock (serve/distributed)",
+)
+def no_blocking_under_lock(ctx: ModuleContext) -> List[Finding]:
+    if not _in_scope(ctx):
+        return []
+    out: List[Finding] = []
+    for cls in ast.walk(ctx.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        guards = _class_guards(ctx, cls)
+        locknames = set(guards.values())
+        for method in _methods(cls):
+
+            def visit(node, held, _method=method):
+                if not held or not isinstance(node, ast.Call):
+                    return
+                label = _is_blocking(ctx, node, held)
+                if label:
+                    out.append(
+                        ctx.finding(
+                            "REPRO-L002",
+                            node,
+                            f"blocking call {label} in {_method.name}() while holding "
+                            f"{sorted(held)}; release the lock first",
+                        )
+                    )
+
+            _walk_method(method.body, _initial_held(method, guards), locknames, visit)
+    return out

@@ -1,0 +1,157 @@
+"""RNG discipline rules (``REPRO-R00x``).
+
+Contract (DESIGN.md §2.10): every stochastic component takes a
+``seed``/``rng`` parameter and all coercion happens in
+:mod:`repro.core.rng` — nothing seeds process-global state, constructs
+an unseeded generator outside the seam, draws from the legacy
+``numpy.random`` global stream, or keeps generator state at module
+level.  This is what makes a run a pure function of its spec, which in
+turn is what the result cache, the distributed executor, and the serve
+layer all assume.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from .lint import Finding, ModuleContext, register_rule
+
+__all__ = ["RNG_SEAM"]
+
+#: The one module allowed to construct unseeded generators.
+RNG_SEAM = "repro.core.rng"
+
+_GLOBAL_SEED = {"numpy.random.seed", "random.seed"}
+_CONSTRUCTORS = {"numpy.random.default_rng", "numpy.random.RandomState"}
+
+#: Draw methods of the legacy global ``numpy.random`` (and stdlib
+#: ``random``) module-level API.  ``rng.random(...)`` on a Generator
+#: never resolves into the ``numpy.random.*`` namespace, so only true
+#: global-state draws match.
+_LEGACY_DRAWS = {
+    "beta", "binomial", "bytes", "chisquare", "choice", "dirichlet",
+    "exponential", "gamma", "geometric", "getrandbits", "gumbel",
+    "hypergeometric", "laplace", "logistic", "lognormal", "logseries",
+    "multinomial", "multivariate_normal", "negative_binomial", "normal",
+    "pareto", "permutation", "poisson", "power", "rand", "randint",
+    "randn", "random", "random_integers", "random_sample", "randrange",
+    "ranf", "rayleigh", "sample", "shuffle", "standard_cauchy",
+    "standard_exponential", "standard_gamma", "standard_normal",
+    "standard_t", "triangular", "uniform", "vonmises", "wald",
+    "weibull", "zipf",
+}
+
+#: Call suffixes whose result is generator state when bound at module
+#: level (``_RNG = default_rng(0)`` and friends).
+_STATE_BUILDERS = {"default_rng", "RandomState", "as_generator", "split"}
+
+
+def _is_unseeded(call: ast.Call) -> bool:
+    """True when the constructor call pins no entropy (literal-only check)."""
+    if not call.args and not call.keywords:
+        return True
+    if call.args:
+        first = call.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+    for keyword in call.keywords:
+        if keyword.arg == "seed":
+            return isinstance(keyword.value, ast.Constant) and keyword.value.value is None
+    return False
+
+
+@register_rule(
+    "REPRO-R001",
+    "no global RNG seeding (np.random.seed / random.seed)",
+)
+def no_global_seed(ctx: ModuleContext) -> List[Finding]:
+    out = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            name = ctx.resolve(node.func)
+            if name in _GLOBAL_SEED:
+                out.append(
+                    ctx.finding(
+                        "REPRO-R001",
+                        node,
+                        f"{name}() seeds process-global state shared by every caller; "
+                        "thread a Generator from repro.core.rng instead",
+                    )
+                )
+    return out
+
+
+@register_rule(
+    "REPRO-R002",
+    "no unseeded default_rng()/RandomState() outside repro.core.rng",
+)
+def no_unseeded_constructors(ctx: ModuleContext) -> List[Finding]:
+    if ctx.module == RNG_SEAM:
+        return []
+    out = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            name = ctx.resolve(node.func)
+            if name in _CONSTRUCTORS and _is_unseeded(node):
+                out.append(
+                    ctx.finding(
+                        "REPRO-R002",
+                        node,
+                        f"unseeded {name}() outside {RNG_SEAM} draws fresh OS entropy "
+                        "and breaks replay; accept a seed/Generator parameter and coerce "
+                        "it with repro.core.rng.as_generator",
+                    )
+                )
+    return out
+
+
+@register_rule(
+    "REPRO-R003",
+    "no legacy global-state numpy.random / random draws",
+)
+def no_legacy_draws(ctx: ModuleContext) -> List[Finding]:
+    out = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = ctx.resolve(node.func)
+        if not name or "." not in name:
+            continue
+        head, _, last = name.rpartition(".")
+        if last in _LEGACY_DRAWS and head in ("numpy.random", "random"):
+            out.append(
+                ctx.finding(
+                    "REPRO-R003",
+                    node,
+                    f"{name}() draws from the process-global stream; draw from a "
+                    "Generator passed in as a parameter",
+                )
+            )
+    return out
+
+
+@register_rule(
+    "REPRO-R004",
+    "no module-level RNG state",
+)
+def no_module_level_rng_state(ctx: ModuleContext) -> List[Finding]:
+    out = []
+    for stmt in ctx.tree.body:
+        value = getattr(stmt, "value", None)
+        if not isinstance(stmt, (ast.Assign, ast.AnnAssign)) or value is None:
+            continue
+        for node in ast.walk(value):
+            if isinstance(node, ast.Call):
+                name = ctx.resolve(node.func) or ""
+                if name.rpartition(".")[2] in _STATE_BUILDERS:
+                    out.append(
+                        ctx.finding(
+                            "REPRO-R004",
+                            stmt,
+                            "module-level RNG state makes import order part of the "
+                            "seed path; build generators inside functions and pass "
+                            "them as parameters",
+                        )
+                    )
+                    break
+    return out

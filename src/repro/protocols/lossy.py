@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.exceptions import ConfigurationError
+from ..core.rng import as_generator
 from ..core.state import NodeArrayState
 from ..graphs.topology import Topology
 from .base import SequentialProtocol
@@ -60,9 +61,18 @@ class LossyProtocol(SequentialProtocol):
         return self.inner.tick_targets(state, node, topology, rng)
 
     def tick_apply(self, state: NodeArrayState, node: int, observed_colors: np.ndarray) -> None:
-        """Drop observations i.i.d., then hand the survivors down."""
+        """Drop observations i.i.d., then hand the survivors down.
+
+        Fallback contract: loss events draw from the engine generator
+        captured in :meth:`tick_targets`.  If ``tick_apply`` is called
+        before any ``tick_targets`` (possible only when a caller drives
+        the hook directly, outside an engine), the stream is coerced via
+        :func:`repro.core.rng.as_generator`, whose ``None`` branch is
+        the repo's single sanctioned OS-entropy fallback — such a run
+        is unseeded by construction and makes no replay promise.
+        """
         if len(observed_colors) and self.loss_probability > 0.0:
-            rng = self._rng_for_loss if self._rng_for_loss is not None else np.random.default_rng()
+            rng = as_generator(self._rng_for_loss)
             keep = rng.random(len(observed_colors)) >= self.loss_probability
             observed_colors = observed_colors[keep]
         self.inner.tick_apply(state, node, observed_colors)
