@@ -59,12 +59,14 @@ from .distributed import DistributedExecutor, run_worker
 from .executors import EXECUTORS, ExecutorPointError, ProcessExecutor, SerialExecutor
 from .registry import (
     DELAYS,
+    FAULTS,
     INITIALS,
     PROTOCOLS,
     STOPS,
     TOPOLOGIES,
     ParamSpec,
     register_delay,
+    register_fault,
     register_initial,
     register_protocol,
     register_stop,
@@ -100,9 +102,11 @@ __all__ = [
     "INITIALS",
     "DELAYS",
     "STOPS",
+    "FAULTS",
     "register_protocol",
     "register_topology",
     "register_initial",
     "register_delay",
     "register_stop",
+    "register_fault",
 ]

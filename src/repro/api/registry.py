@@ -14,6 +14,7 @@ registry              registered by              example names
 :data:`INITIALS`      ``repro.workloads.initial``  ``two-colors``, ``balanced``
 :data:`DELAYS`        ``repro.engine.delays``    ``exponential``, ``fixed``
 :data:`STOPS`         ``repro.engine.base``      ``consensus``, ``near-consensus``
+:data:`FAULTS`        ``repro.protocols.faults``  ``loss``, ``stubborn``
 ====================  =========================  ==========================
 
 Each entry carries parameter metadata (:class:`ParamSpec`) so the CLI
@@ -54,11 +55,13 @@ __all__ = [
     "INITIALS",
     "DELAYS",
     "STOPS",
+    "FAULTS",
     "register_protocol",
     "register_topology",
     "register_initial",
     "register_delay",
     "register_stop",
+    "register_fault",
 ]
 
 def _parse_bool(text: str) -> bool:
@@ -317,6 +320,11 @@ TOPOLOGIES = Registry("topology")
 INITIALS = Registry("initial condition")
 DELAYS = Registry("delay model")
 STOPS = Registry("stop condition")
+#: Fault wrappers (:mod:`repro.protocols.faults`): factories that take
+#: the protocol to wrap as their one positional argument and return the
+#: wrapped protocol, so a ``SimulationSpec.faults`` chain composes
+#: inner-to-outer through :meth:`Registry.build`.
+FAULTS = Registry("fault wrapper")
 
 #: Module-level aliases so registering modules read naturally.
 register_protocol = PROTOCOLS.register
@@ -324,3 +332,4 @@ register_topology = TOPOLOGIES.register
 register_initial = INITIALS.register
 register_delay = DELAYS.register
 register_stop = STOPS.register
+register_fault = FAULTS.register

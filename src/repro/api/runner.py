@@ -34,7 +34,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from ..core.exceptions import ConfigurationError
-from .registry import DELAYS, INITIALS, PROTOCOLS, STOPS, TOPOLOGIES
+from .registry import DELAYS, FAULTS, INITIALS, PROTOCOLS, STOPS, TOPOLOGIES
 from .results import SimulationResult
 from .spec import SimulationSpec
 
@@ -98,6 +98,11 @@ def resolve(spec: SimulationSpec) -> ResolvedSimulation:
     protocol = PROTOCOLS.get(spec.protocol).build(
         spec.model, spec.protocol_params, on_complete=topology.is_complete()
     )
+    # Fault wrappers compose around the resolved protocol, first entry
+    # innermost; the spec layer already rejected them for the
+    # synchronous model, so the build always receives a tick protocol.
+    for entry in spec.faults:
+        protocol = FAULTS.build(entry["name"], entry["params"], protocol)
     initial = INITIALS.build(spec.initial, spec.initial_params, spec.n)
     delay_model = None if spec.delay is None else DELAYS.build(spec.delay, spec.delay_params)
     stop = STOPS.build(spec.stop, spec.stop_params)

@@ -15,11 +15,30 @@ constructed and serialized without importing any simulation code.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from ..core.exceptions import ConfigurationError
 
 __all__ = ["SimulationSpec"]
+
+
+def _normalize_fault(entry: Mapping[str, Any]) -> Dict[str, Any]:
+    """Canonical ``{"name": str, "params": dict}`` form of a fault entry."""
+    if isinstance(entry, str):
+        entry = {"name": entry}
+    try:
+        entry = dict(entry)
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"fault entries must be mappings with a 'name' key, got {entry!r}"
+        ) from None
+    unknown = sorted(set(entry) - {"name", "params"})
+    if unknown:
+        raise ConfigurationError(f"unknown fault entry key(s) {unknown}; expected 'name'/'params'")
+    name = entry.get("name")
+    if not isinstance(name, str) or not name:
+        raise ConfigurationError(f"fault entries need a non-empty string 'name', got {name!r}")
+    return {"name": name, "params": dict(entry.get("params") or {})}
 
 
 @dataclass(frozen=True)
@@ -50,6 +69,14 @@ class SimulationSpec:
         "z": 1.0}`` for ``theorem-1-1-gap``).
     stop / stop_params:
         Stop-criterion name (default full consensus).
+    faults:
+        Optional chain of fault-wrapper applications, each a
+        ``{"name": ..., "params": {...}}`` mapping into the
+        :data:`~repro.api.registry.FAULTS` registry (e.g. ``({"name":
+        "stubborn", "params": {"fraction": 0.05}},)``).  Wrappers are
+        applied first-entry-innermost around the resolved protocol.
+        Fault wrappers wrap the tick interface, so faults require an
+        asynchronous model (``sequential`` or ``continuous``).
     reps:
         Independent replications.  ``reps == 1`` runs the engine
         directly with *seed* (value-for-value what hand-wiring
@@ -85,6 +112,7 @@ class SimulationSpec:
     initial_params: Dict[str, Any] = field(default_factory=dict)
     stop: str = "consensus"
     stop_params: Dict[str, Any] = field(default_factory=dict)
+    faults: Tuple[Dict[str, Any], ...] = ()
     reps: int = 1
     seed: Optional[int] = None
     max_steps: Optional[int] = None
@@ -97,6 +125,9 @@ class SimulationSpec:
         # serialization and hashing-by-content behave predictably.
         for name in ("protocol_params", "topology_params", "delay_params", "initial_params", "stop_params"):
             object.__setattr__(self, name, dict(getattr(self, name) or {}))
+        object.__setattr__(
+            self, "faults", tuple(_normalize_fault(entry) for entry in (self.faults or ()))
+        )
         if self.n < 2:
             raise ConfigurationError(f"n must be at least 2, got {self.n}")
         if self.reps < 1:
@@ -113,10 +144,22 @@ class SimulationSpec:
             raise ConfigurationError("record_trace requires reps == 1 (ensemble engines do not trace)")
         if self.seed is not None and not isinstance(self.seed, int):
             raise ConfigurationError(f"seed must be an int or None, got {type(self.seed).__name__}")
+        if self.faults and self.model == "synchronous":
+            raise ConfigurationError(
+                "faults wrap the sequential tick interface; use the "
+                "'sequential' or 'continuous' model"
+            )
 
     def to_dict(self) -> Dict[str, Any]:
-        """Loss-free JSON-ready form; inverse of :meth:`from_dict`."""
-        return {
+        """Loss-free JSON-ready form; inverse of :meth:`from_dict`.
+
+        The ``faults`` key is emitted only when the chain is non-empty,
+        so the serialized form — and therefore every
+        :func:`~repro.api.cache.spec_key` content hash of a fault-free
+        spec — is byte-identical to what it was before the field
+        existed (cached campaign results stay valid).
+        """
+        payload = {
             "protocol": self.protocol,
             "protocol_params": dict(self.protocol_params),
             "n": self.n,
@@ -136,6 +179,11 @@ class SimulationSpec:
             "record_trace": self.record_trace,
             "trace_every": self.trace_every,
         }
+        if self.faults:
+            payload["faults"] = [
+                {"name": entry["name"], "params": dict(entry["params"])} for entry in self.faults
+            ]
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "SimulationSpec":

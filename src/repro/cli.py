@@ -17,6 +17,7 @@ Examples::
     python -m repro engines --quick --out BENCH_engines.json
     python -m repro sparse --quick --out BENCH_sparse.json
     python -m repro kernels --quick --out BENCH_kernels.json
+    python -m repro robustness --quick --cache-dir .repro-cache --out BENCH_robustness.json
     python -m repro lint src/repro
     python -m repro lint src/repro --select REPRO-R002,REPRO-H003 --json
 """
@@ -33,6 +34,7 @@ from typing import Dict, List, Optional
 from .api import (
     DELAYS,
     EXECUTORS,
+    FAULTS,
     INITIALS,
     PROTOCOLS,
     STOPS,
@@ -261,6 +263,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_kernels_cli_arguments(kernels_cmd)
 
+    robustness_cmd = sub.add_parser(
+        "robustness",
+        help="run the fault-injection robustness suite: phase-transition maps under "
+        "loss/stubborn/byzantine faults",
+    )
+    from .bench.perf_robustness import add_cli_arguments as add_robustness_cli_arguments
+
+    add_robustness_cli_arguments(robustness_cmd)
+
     lint_cmd = sub.add_parser(
         "lint",
         help="run the contract-aware static analysis (RNG/hash/clock/lock/purity rules) "
@@ -288,6 +299,14 @@ def _add_param_flags(cmd) -> None:
             metavar="KEY=VALUE",
             help=f"{target} parameter override (repeatable)",
         )
+    cmd.add_argument(
+        "--fault",
+        action="append",
+        default=[],
+        metavar="NAME[:KEY=VALUE,...]",
+        help="fault wrapper around the protocol, e.g. 'stubborn:fraction=0.05' "
+        "(repeatable; applied first-flag-innermost)",
+    )
 
 
 def _resolve_scale(args) -> ExperimentScale:
@@ -313,6 +332,18 @@ def _parse_params(pairs: List[str], flag: str) -> Dict[str, str]:
     return out
 
 
+def _parse_faults(pairs: List[str]) -> List[Dict[str, object]]:
+    """Parse repeated ``--fault NAME[:KEY=VALUE,...]`` flags in order."""
+    out: List[Dict[str, object]] = []
+    for pair in pairs:
+        name, sep, params = pair.partition(":")
+        if not name:
+            raise ConfigurationError(f"--fault expects NAME[:KEY=VALUE,...], got {pair!r}")
+        overrides = _parse_params(params.split(",") if sep and params else [], "--fault")
+        out.append({"name": name, "params": overrides})
+    return out
+
+
 def _spec_from_args(args) -> SimulationSpec:
     """Build the :class:`SimulationSpec` the ``simulate`` flags describe."""
     n = args.n
@@ -331,6 +362,7 @@ def _spec_from_args(args) -> SimulationSpec:
         initial_params=_parse_params(args.initial_param, "--initial-param"),
         stop=args.stop,
         stop_params=_parse_params(args.stop_param, "--stop-param"),
+        faults=_parse_faults(args.fault),
         reps=args.reps,
         seed=args.seed,
         max_steps=args.max_steps,
@@ -415,6 +447,7 @@ def _campaign_from_args(args) -> CampaignSpec:
         initial_params=_parse_params(args.initial_param, "--initial-param"),
         stop=args.stop,
         stop_params=_parse_params(args.stop_param, "--stop-param"),
+        faults=_parse_faults(args.fault),
         reps=args.reps,
         max_steps=args.max_steps,
         max_time=args.max_time,
@@ -501,6 +534,7 @@ def _print_registries() -> None:
         ("initial conditions (--initial)", INITIALS),
         ("delay models (--delay)", DELAYS),
         ("stop criteria (--stop)", STOPS),
+        ("fault wrappers (--fault)", FAULTS),
     ):
         print()
         print(f"{label}:")
@@ -610,6 +644,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .bench.perf_kernels import run_cli as run_kernels_cli
 
         return run_kernels_cli(args, parser.error)
+
+    if args.command == "robustness":
+        from .bench.perf_robustness import run_cli as run_robustness_cli
+
+        return run_robustness_cli(args, parser.error)
 
     if args.command == "lint":
         from .devtools.lint import run_cli as run_lint_cli

@@ -23,7 +23,12 @@ import numpy as np
 from .exceptions import ConfigurationError
 from .rng import as_generator
 
-__all__ = ["ColorConfiguration", "counts_from_assignment", "assignment_from_counts"]
+__all__ = [
+    "ColorConfiguration",
+    "counts_from_assignment",
+    "assignment_from_counts",
+    "zipf_counts",
+]
 
 
 @dataclass(frozen=True)
@@ -177,6 +182,35 @@ def counts_from_assignment(colors: Sequence[int], k: int = None) -> ColorConfigu
     if width <= int(arr.max()):
         raise ConfigurationError(f"k={width} too small for labels up to {int(arr.max())}")
     return ColorConfiguration(np.bincount(arr, minlength=width).tolist())
+
+
+def zipf_counts(n: int, k: int, alpha: float = 1.0, rng: np.random.Generator = None) -> ColorConfiguration:
+    """Sampled heavy-tailed configuration: multinomial over Zipf weights.
+
+    Each of the ``n`` nodes independently picks colour ``j`` with
+    probability proportional to ``(j + 1)^(-alpha)``, so the counts are
+    one multinomial draw over the Zipf law — the *random* counterpart
+    of the deterministic :func:`repro.workloads.initial.power_law`
+    rounding.  Sampling noise means colours may come out empty and the
+    realised plurality may differ from colour 0 (both legal
+    configurations); the many-colour robustness campaigns use exactly
+    that roughness.
+
+    Fallback contract: the draw uses *rng* when given; ``rng=None`` is
+    coerced via :func:`repro.core.rng.as_generator`, whose ``None``
+    branch is the repo's single sanctioned OS-entropy fallback —
+    deterministic callers must pass their own generator or seed.
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    if alpha < 0:
+        raise ConfigurationError(f"alpha must be non-negative, got {alpha}")
+    weights = np.arange(1, k + 1, dtype=float) ** (-alpha)
+    generator = as_generator(rng)
+    counts = generator.multinomial(n, weights / weights.sum())
+    return ColorConfiguration(counts.tolist())
 
 
 def assignment_from_counts(config: ColorConfiguration, rng: np.random.Generator = None, shuffle: bool = True) -> np.ndarray:

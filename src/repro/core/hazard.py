@@ -209,7 +209,16 @@ def apply_hazard_free(
     """
     if kernel is _RESOLVE:
         kernel = kernel_for(protocol)
-    if kernel is not None:
+    # States may carry a boolean ``frozen`` mask (fault-injection
+    # wrappers: stubborn/Byzantine nodes never update — see
+    # repro.protocols.faults).  A frozen actor's tick is forced to a
+    # no-op *before* the actual-write test, so the mask only shrinks
+    # the write set and the hazard-free-prefix argument is unchanged;
+    # the result stays bit-identical to looping tick_apply (which
+    # checks the same mask).  Compiled kernels do not know the mask,
+    # so a masked state always takes the numpy path.
+    frozen = getattr(state, "frozen", None)
+    if kernel is not None and frozen is None:
         return kernel.apply(protocol, state, nodes, targets)
     if scratch is None:
         scratch = HazardScratch.for_state(state)
@@ -231,6 +240,8 @@ def apply_hazard_free(
         own = read_colors[:, 0]
         observed = read_colors[:, 1:]
         values = protocol.tick_values(state, own, observed)
+        if values is not None and frozen is not None:
+            values = np.where(frozen[sub_reads[:, 0]], own, values)
         if values is None:
             # No vectorised value rule: conservative hazard test plus
             # the protocol's own (possibly looping) batch apply.

@@ -245,6 +245,8 @@ def registry_signature_audit(files: Sequence) -> List[Finding]:
         (registry.INITIALS, 1, "initial"),
         (registry.DELAYS, 0, "delay"),
         (registry.STOPS, 0, "stop"),
+        # fault wrappers take the protocol to wrap as their positional arg
+        (registry.FAULTS, 1, "fault"),
     ]
     for reg, n_positional, kind in plain:
         for name in reg.names():

@@ -68,7 +68,7 @@ from typing import Optional, Union
 
 from ..core.backend import ArrayBackend
 from ..core.exceptions import ConfigurationError
-from ..graphs.topology import Topology
+from ..graphs.topology import DynamicTopology, Topology
 from ..protocols.base import (
     CountsProtocol,
     EnsembleCountsProtocol,
@@ -146,6 +146,15 @@ def fastest_engine(
     """
     if n_reps < 1:
         raise ConfigurationError(f"n_reps must be positive, got {n_reps}")
+    if isinstance(topology, DynamicTopology) and model != "sequential":
+        # The epoch clock is defined in sequential ticks; neither the
+        # round-based nor the Poisson-clock engines cut their work at
+        # epoch boundaries, so routing them would silently break the
+        # constant-graph-per-block exactness contract.
+        raise ConfigurationError(
+            f"dynamic topologies advance on a tick-epoch clock; the {model!r} "
+            "model is not supported (use model='sequential')"
+        )
     ensemble = n_reps > 1
     on_complete = topology.is_complete()
 

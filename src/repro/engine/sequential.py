@@ -22,7 +22,7 @@ from ..core.colors import ColorConfiguration
 from ..core.exceptions import ConfigurationError
 from ..core.results import RunResult, Trace
 from ..core.rng import SeedLike, as_generator
-from ..graphs.topology import Topology
+from ..graphs.topology import DynamicTopology, Topology
 from ..protocols.base import SequentialProtocol
 from .base import StopCondition, build_result, consensus_reached, materialize_initial
 
@@ -91,6 +91,16 @@ class SequentialEngine:
 
         protocol = self.protocol
         topology = self.topology
+        # Dynamic topologies change their edge set on a fixed epoch
+        # clock; blocks additionally end on epoch boundaries so every
+        # tick of a block presamples from the graph of its own epoch
+        # (tick t reads epoch t // epoch_ticks), and the run starts
+        # from a deterministic epoch-0 reset so replications sharing
+        # one topology object stay independent.
+        dynamic = isinstance(topology, DynamicTopology)
+        if dynamic:
+            epoch_ticks = topology.epoch_ticks
+            topology.advance_to(0)
         ticks = 0
         next_trace = trace_interval
         converged = stop(counts)
@@ -104,6 +114,9 @@ class SequentialEngine:
             block = min(_BATCH, max_ticks - ticks, to_check)
             if trace is not None:
                 block = min(block, next_trace - ticks)
+            if dynamic:
+                topology.advance_to(ticks // epoch_ticks)
+                block = min(block, epoch_ticks - ticks % epoch_ticks)
             nodes = rng.integers(0, n, size=block)
             protocol.seq_tick_batch(state, nodes, topology, rng)
             ticks += block

@@ -73,7 +73,7 @@ from ..core.hazard import HazardScratch, apply_hazard_free
 from ..core.hazard_kernel import kernel_for
 from ..core.results import RunResult, Trace
 from ..core.rng import SeedLike, as_generator, spawn_seed_sequences
-from ..graphs.topology import Topology
+from ..graphs.topology import DynamicTopology, Topology
 from ..protocols.base import SequentialProtocol
 from .base import StopCondition, build_result, consensus_reached, materialize_initial
 
@@ -219,6 +219,15 @@ class SparseSequentialEngine(_SparseTickEngine):
         protocol = self.protocol
         topology = self.topology
         samples = protocol.tick_footprint.samples
+        # Dynamic topologies: cut blocks at topology-change epochs so
+        # every presampled target identity comes from the graph of its
+        # tick's own epoch — the hazard-free-prefix exactness contract
+        # only covers a constant graph per block.  Run-start epoch-0
+        # reset keeps replications on a shared topology independent.
+        dynamic = isinstance(topology, DynamicTopology)
+        if dynamic:
+            epoch_ticks = topology.epoch_ticks
+            topology.advance_to(0)
         ticks = 0
         next_trace = trace_interval
         converged = stop(counts)
@@ -229,6 +238,9 @@ class SparseSequentialEngine(_SparseTickEngine):
             block = min(block_size, max_ticks - ticks, to_check)
             if trace is not None:
                 block = min(block, next_trace - ticks)
+            if dynamic:
+                topology.advance_to(ticks // epoch_ticks)
+                block = min(block, epoch_ticks - ticks % epoch_ticks)
             nodes = rng.integers(0, n, size=block)
             targets = topology.sample_neighbors_block(nodes, samples, rng)
             cuts = apply_hazard_free(protocol, state, nodes, targets, scratch, kernel=kernel)

@@ -1,13 +1,16 @@
 """Topologies: the complete graph of the paper plus sparse companions."""
 
 from .complete import CompleteGraph
+from .dynamic import ChurnTopology
 from .families import barabasi_albert, hypercube, random_regular, star, watts_strogatz
 from .nx_adapter import from_networkx
 from .sparse import AdjacencyTopology, erdos_renyi, ring, torus
-from .topology import Topology
+from .topology import DynamicTopology, Topology
 
 __all__ = [
     "Topology",
+    "DynamicTopology",
+    "ChurnTopology",
     "CompleteGraph",
     "AdjacencyTopology",
     "ring",

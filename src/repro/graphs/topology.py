@@ -23,7 +23,7 @@ import numpy as np
 
 from ..core.exceptions import TopologyError
 
-__all__ = ["Topology"]
+__all__ = ["Topology", "DynamicTopology"]
 
 
 class Topology(ABC):
@@ -83,3 +83,43 @@ class Topology(ABC):
 
     def __len__(self) -> int:
         return self.n
+
+
+class DynamicTopology(Topology):
+    """A topology whose edge set changes at fixed tick *epochs*.
+
+    The hazard-batched fast paths presample a whole block of target
+    identities from a single graph snapshot, which is only exact while
+    the graph does not change under the block.  Dynamic topologies make
+    that contract explicit:
+
+    * the edge set is a **deterministic pure function of the epoch
+      index** — :meth:`advance_to` materialises epoch ``e`` from the
+      initial graph and the topology's own churn seed, never from an
+      engine RNG, so replaying any epoch (forwards or from scratch)
+      yields the identical graph;
+    * the graph is constant within an epoch of :attr:`epoch_ticks`
+      sequential ticks; the tick engines cut their presampling blocks
+      at epoch boundaries (tick ``t`` samples from epoch ``t //
+      epoch_ticks``), which keeps the hazard-free-prefix argument —
+      and hence bit-exactness against the per-tick reference loop on
+      the same draws — intact.
+
+    Only the sequential model drives dynamic topologies: the epoch
+    clock is defined in ticks, and
+    :func:`repro.engine.dispatch.fastest_engine` rejects the
+    continuous and synchronous models for them.
+    """
+
+    #: epoch length in sequential ticks; the graph is constant within
+    #: an epoch.  Concrete classes must set this in ``__init__``.
+    epoch_ticks: int
+
+    @abstractmethod
+    def advance_to(self, epoch: int) -> None:
+        """Materialise the edge set of epoch *epoch* (0 = initial graph).
+
+        Must be callable with any non-negative epoch in any order —
+        engines call ``advance_to(0)`` at run start so replications on
+        one shared topology object stay independent.
+        """

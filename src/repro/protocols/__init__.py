@@ -17,6 +17,7 @@ from .base import (
     SynchronousProtocol,
 )
 from .endgame import near_consensus_start, run_endgame
+from .faults import ByzantineProtocol, FaultMaskedState, StubbornProtocol
 from .lossy import LossyProtocol
 from .one_extra_bit import (
     OneExtraBitCounts,
@@ -72,6 +73,9 @@ __all__ = [
     "SynchronousProtocol",
     "near_consensus_start",
     "run_endgame",
+    "ByzantineProtocol",
+    "FaultMaskedState",
+    "StubbornProtocol",
     "LossyProtocol",
     "OneExtraBitCounts",
     "OneExtraBitCountsState",

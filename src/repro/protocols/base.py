@@ -292,6 +292,13 @@ class SequentialProtocol(ABC):
             for i in range(nodes.shape[0]):
                 self.tick_apply(state, int(nodes[i]), observed[i])
             return
+        # Fault-masked states (repro.protocols.faults) carry a boolean
+        # ``frozen`` mask of nodes that never update; suppressing their
+        # writes here keeps the scatter bit-identical to the tick_apply
+        # loop, which checks the same mask.
+        frozen = getattr(state, "frozen", None)
+        if frozen is not None:
+            values = np.where(frozen[nodes], own, values)
         changed = values != own
         state.colors[nodes[changed]] = values[changed]
 

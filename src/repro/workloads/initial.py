@@ -25,7 +25,7 @@ from typing import Optional
 import numpy as np
 
 from ..api.registry import ParamSpec, register_initial
-from ..core.colors import ColorConfiguration
+from ..core.colors import ColorConfiguration, zipf_counts
 from ..core.exceptions import ConfigurationError
 from ..core.rng import SeedLike, as_generator
 
@@ -218,3 +218,21 @@ def _dirichlet_of_n(n: int, k: int, concentration: float = 1.0, init_seed: int =
     """Registry adapter for :func:`dirichlet_random` (seed renamed so a
     spec's master seed and the configuration's own seed stay distinct)."""
     return dirichlet_random(n, k, concentration=concentration, seed=init_seed)
+
+
+@register_initial(
+    "zipf-sampled",
+    params=[
+        _K,
+        ParamSpec("alpha", kind="float", default=1.0, doc="Zipf exponent"),
+        ParamSpec("init_seed", kind="int", doc="seed for the multinomial draw"),
+    ],
+    description="One multinomial draw over Zipf weights (sampled heavy tail; colours may be empty)",
+)
+def _zipf_sampled_of_n(n: int, k: int, alpha: float = 1.0, init_seed: int = None) -> ColorConfiguration:
+    """Registry adapter for :func:`repro.core.colors.zipf_counts`
+    (seed renamed so a spec's master seed and the configuration's own
+    seed stay distinct, matching the ``dirichlet`` idiom)."""
+    from ..core.rng import as_generator
+
+    return zipf_counts(n, k, alpha=alpha, rng=as_generator(init_seed))

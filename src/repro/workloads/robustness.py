@@ -1,0 +1,254 @@
+"""Robustness campaigns: phase-transition maps under fault injection.
+
+The paper's guarantees are stated for fault-free nodes; the robustness
+suite measures how the protocols degrade when that assumption is
+broken.  Each campaign is a product grid over exactly two axes of
+:class:`~repro.api.spec.SimulationSpec`:
+
+* ``faults`` — one wrapper stack per swept *fault rate* (loss
+  probability for the ``loss`` wrapper, faulty-node fraction for
+  ``stubborn`` / ``byzantine``), with rate ``0.0`` expanding to *no*
+  wrapper at all so the fault-free column shares its cache key with
+  ordinary runs of the same spec;
+* an *initial bias* axis — the additive gap of a two-colour split
+  (``initial_params.gap``) for the main maps, or the Zipf exponent
+  (``initial_params.alpha``) for the many-colour sampled-heavy-tail
+  leg.
+
+Every point is an ordinary replicated :func:`repro.api.simulate` spec,
+so the campaigns inherit the whole determinism story: per-point seeds
+derive from the campaign master seed, results are content-addressed
+cacheable, and serial / process / warm-cache executions are
+value-identical.  :func:`phase_map` folds a finished campaign back into
+rate-major matrices (consensus rate, plurality rate, mean parallel
+time) — the "phase-transition map" shape ``BENCH_robustness.json`` and
+EXPERIMENTS.md quote — and :func:`critical_rates` extracts the
+empirical phase boundary per bias column.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..api.campaign import CampaignResult, CampaignSpec, SweepSpec
+from ..api.spec import SimulationSpec
+from ..core.exceptions import ConfigurationError
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_RATE_PARAM",
+    "fault_axis",
+    "robustness_campaign",
+    "zipf_robustness_campaign",
+    "phase_map",
+    "critical_rates",
+]
+
+#: the fault wrappers the robustness suite sweeps, in report order.
+FAULT_KINDS = ("loss", "stubborn", "byzantine")
+
+#: which registry parameter the swept "fault rate" addresses, per kind.
+FAULT_RATE_PARAM = {"loss": "p", "stubborn": "fraction", "byzantine": "fraction"}
+
+
+def fault_axis(
+    fault: str, rates: Sequence[float], fault_seed: int = 0
+) -> List[List[Dict[str, Any]]]:
+    """``faults``-field axis values: one wrapper stack per swept rate.
+
+    Rate ``0.0`` expands to the empty stack — the exact fault-free
+    spec, not a degenerate wrapper — so the zero column of every phase
+    map shares its cache key with plain runs of the same workload.
+    """
+    if fault not in FAULT_RATE_PARAM:
+        raise ConfigurationError(
+            f"unknown fault kind {fault!r}; expected one of {', '.join(FAULT_KINDS)}"
+        )
+    param = FAULT_RATE_PARAM[fault]
+    values: List[List[Dict[str, Any]]] = []
+    for rate in rates:
+        rate = float(rate)
+        if rate < 0.0 or rate >= 1.0:
+            raise ConfigurationError(f"fault rates must lie in [0, 1), got {rate}")
+        if rate == 0.0:
+            values.append([])
+            continue
+        params: Dict[str, Any] = {param: rate}
+        if fault != "loss":
+            # Pin the faulty-node draw so the map is a pure function of
+            # the campaign spec (the wrapper would default to 0 anyway;
+            # stating it keeps the spec self-describing).
+            params["fault_seed"] = int(fault_seed)
+        values.append([{"name": fault, "params": params}])
+    if not values:
+        raise ConfigurationError("need at least one fault rate")
+    return values
+
+
+def robustness_campaign(
+    protocol: str,
+    fault: str,
+    rates: Sequence[float],
+    gaps: Sequence[int],
+    n: int = 400,
+    reps: int = 6,
+    seed: int = 20170725,
+    max_steps: Optional[int] = None,
+    fault_seed: int = 0,
+) -> CampaignSpec:
+    """One (protocol, fault kind) phase map: rate (outer) x gap (inner).
+
+    The workload is the classic two-colour split on ``K_n`` with an
+    explicit additive gap; *max_steps* caps the cells past the phase
+    boundary, where the honest nodes never settle and the run would
+    otherwise burn the engine's full default budget.
+    """
+    if not gaps:
+        raise ConfigurationError("need at least one initial gap")
+    base = SimulationSpec(
+        protocol=protocol,
+        n=int(n),
+        topology="complete",
+        initial="two-colors",
+        initial_params={"gap": int(gaps[0])},
+        reps=int(reps),
+        max_steps=max_steps,
+    )
+    sweep = SweepSpec(
+        axes={
+            "faults": fault_axis(fault, rates, fault_seed=fault_seed),
+            "initial_params.gap": [int(gap) for gap in gaps],
+        }
+    )
+    return CampaignSpec(
+        base=base, sweep=sweep, seed=int(seed), name=f"robustness/{protocol}/{fault}"
+    )
+
+
+def zipf_robustness_campaign(
+    protocol: str,
+    fault: str,
+    rates: Sequence[float],
+    alphas: Sequence[float],
+    n: int = 400,
+    k: int = 8,
+    reps: int = 6,
+    seed: int = 20170725,
+    init_seed: int = 20170725,
+    max_steps: Optional[int] = None,
+    fault_seed: int = 0,
+) -> CampaignSpec:
+    """The many-colour leg: rate x Zipf exponent over sampled initials.
+
+    The initial configuration is one seeded multinomial draw over Zipf
+    weights (``zipf-sampled``), so colours may come out empty and the
+    realised plurality margin is rough — exactly the landscape the
+    deterministic two-colour maps cannot probe.  *init_seed* pins the
+    draw; leaving it unset would fall back to OS entropy and break the
+    campaign's replay contract.
+    """
+    if not alphas:
+        raise ConfigurationError("need at least one Zipf exponent")
+    base = SimulationSpec(
+        protocol=protocol,
+        n=int(n),
+        topology="complete",
+        initial="zipf-sampled",
+        initial_params={"k": int(k), "alpha": float(alphas[0]), "init_seed": int(init_seed)},
+        reps=int(reps),
+        max_steps=max_steps,
+    )
+    sweep = SweepSpec(
+        axes={
+            "faults": fault_axis(fault, rates, fault_seed=fault_seed),
+            "initial_params.alpha": [float(alpha) for alpha in alphas],
+        }
+    )
+    return CampaignSpec(
+        base=base,
+        sweep=sweep,
+        seed=int(seed),
+        name=f"robustness-zipf/{protocol}/{fault}",
+    )
+
+
+def _finite(value: float) -> Optional[float]:
+    """Strict-JSON cell value: non-finite statistics become ``None``."""
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+def phase_map(
+    result: CampaignResult, rates: Sequence[float], biases: Sequence[Any]
+) -> Dict[str, Any]:
+    """Fold a robustness campaign into rate-major phase matrices.
+
+    *rates* and *biases* must be the axis values the campaign was built
+    from (rate is the outer axis, bias the inner — the insertion order
+    of :func:`robustness_campaign`).  Row ``i``, column ``j`` of each
+    matrix is the grid cell at ``(rates[i], biases[j])``:
+
+    * ``consensus_rate`` — fraction of replications that reached (and
+      held, at a stop check) honest consensus within the budget;
+    * ``plurality_rate`` — fraction where the initial plurality colour
+      won;
+    * ``mean_parallel_time`` — mean time to consensus over the
+      converged replications (``None`` when none converged).
+    """
+    rates = [float(rate) for rate in rates]
+    biases = list(biases)
+    expected = len(rates) * len(biases)
+    if result.size != expected:
+        raise ConfigurationError(
+            f"campaign has {result.size} point(s) but the rate x bias grid "
+            f"has {expected}; pass the axis values the campaign was built from"
+        )
+    consensus: List[List[float]] = []
+    plurality: List[List[float]] = []
+    times: List[List[Optional[float]]] = []
+    points = iter(result.points)
+    for _ in rates:
+        consensus.append([])
+        plurality.append([])
+        times.append([])
+        for _ in biases:
+            summary = next(points).result.summary()
+            consensus[-1].append(float(summary["converged_rate"]))
+            plurality[-1].append(float(summary["plurality_rate"]))
+            times[-1].append(_finite(summary["mean_parallel_time"]))
+    return {
+        "rates": rates,
+        "biases": biases,
+        "consensus_rate": consensus,
+        "plurality_rate": plurality,
+        "mean_parallel_time": times,
+    }
+
+
+def critical_rates(
+    map_payload: Dict[str, Any], stat: str = "plurality_rate", threshold: float = 0.5
+) -> List[Optional[float]]:
+    """Empirical phase boundary per bias column.
+
+    For each bias, the largest swept rate whose cell still has
+    ``stat >= threshold`` — scanning from rate 0 upward and stopping at
+    the first failure, so an isolated noisy cell above the boundary
+    does not inflate it.  ``None`` when even the fault-free cell fails.
+    """
+    if stat not in ("consensus_rate", "plurality_rate"):
+        raise ConfigurationError(
+            f"stat must be 'consensus_rate' or 'plurality_rate', got {stat!r}"
+        )
+    rates = map_payload["rates"]
+    matrix = map_payload[stat]
+    out: List[Optional[float]] = []
+    for column in range(len(map_payload["biases"])):
+        boundary: Optional[float] = None
+        for row, rate in enumerate(rates):
+            if matrix[row][column] >= threshold:
+                boundary = rate
+            else:
+                break
+        out.append(boundary)
+    return out

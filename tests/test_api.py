@@ -16,6 +16,7 @@ from hypothesis import strategies as st
 
 from repro.api import (
     DELAYS,
+    FAULTS,
     INITIALS,
     PROTOCOLS,
     STOPS,
@@ -128,9 +129,11 @@ class TestRegistries:
         assert {"two-choices", "voter", "three-majority", "undecided-state",
                 "one-extra-bit", "async-plurality"} <= set(PROTOCOLS.names())
         assert "complete" in TOPOLOGIES and "ring" in TOPOLOGIES
-        assert {"two-colors", "balanced", "benchmark-split"} <= set(INITIALS.names())
+        assert {"dynamic-ring", "dynamic-torus"} <= set(TOPOLOGIES.names())
+        assert {"two-colors", "balanced", "benchmark-split", "zipf-sampled"} <= set(INITIALS.names())
         assert {"none", "exponential", "fixed"} <= set(DELAYS.names())
         assert {"consensus", "near-consensus", "plurality-fraction"} <= set(STOPS.names())
+        assert {"loss", "stubborn", "byzantine"} <= set(FAULTS.names())
 
     def test_unknown_name_error_lists_registered(self):
         with pytest.raises(ConfigurationError, match="two-choices"):
@@ -299,8 +302,24 @@ class TestSpecSurvivesJson:
             max_size=4,
         ),
         budget=st.one_of(st.none(), st.integers(min_value=1, max_value=10**9)),
+        faults=st.lists(
+            st.fixed_dictionaries(
+                {
+                    "name": st.sampled_from(["loss", "stubborn", "byzantine"]),
+                    "params": st.dictionaries(
+                        st.sampled_from(["p", "fraction", "fault_seed", "color"]),
+                        st.one_of(
+                            st.integers(min_value=0, max_value=10**6),
+                            st.floats(min_value=0.0, max_value=0.99, allow_nan=False),
+                        ),
+                        max_size=2,
+                    ),
+                }
+            ),
+            max_size=2,
+        ),
     )
-    def test_to_dict_json_from_dict_is_identity(self, protocol, n, model, reps, seed, params, budget):
+    def test_to_dict_json_from_dict_is_identity(self, protocol, n, model, reps, seed, params, budget, faults):
         """Property: any constructible spec survives the JSON hop unchanged
         (registry validation of the params happens at run time, so the
         serialization layer must carry arbitrary JSON-able dicts)."""
@@ -310,6 +329,8 @@ class TestSpecSurvivesJson:
                 kwargs["max_time"] = float(budget)
             else:
                 kwargs["max_steps"] = budget
+        if faults and model != "synchronous":
+            kwargs["faults"] = faults
         spec = SimulationSpec(
             protocol=protocol,
             n=n,
@@ -321,6 +342,55 @@ class TestSpecSurvivesJson:
             **kwargs,
         )
         assert _json_hop(spec) == spec
+
+    NEW_ENTRY_SPECS = [
+        SimulationSpec(
+            protocol="two-choices",
+            n=150,
+            topology="dynamic-ring",
+            topology_params={"churn_rate": 0.2, "epoch_ticks": 75},
+            initial="two-colors",
+            initial_params={"gap": 30},
+            reps=2,
+            seed=9,
+            max_steps=4000,
+        ),
+        SimulationSpec(
+            protocol="three-majority",
+            n=120,
+            initial="zipf-sampled",
+            initial_params={"k": 6, "alpha": 1.0, "init_seed": 4},
+            faults=[{"name": "stubborn", "params": {"fraction": 0.1, "fault_seed": 2}}],
+            reps=2,
+            seed=9,
+            max_steps=4000,
+        ),
+        SimulationSpec(
+            protocol="two-choices",
+            n=100,
+            faults=[
+                {"name": "loss", "params": {"p": 0.3}},
+                {"name": "byzantine", "params": {"fraction": 0.1}},
+            ],
+            initial="two-colors",
+            initial_params={"gap": 20},
+            seed=9,
+            max_steps=2000,
+        ),
+    ]
+
+    @pytest.mark.parametrize(
+        "spec",
+        NEW_ENTRY_SPECS,
+        ids=["dynamic-ring", "zipf+stubborn", "loss+byzantine"],
+    )
+    def test_json_hop_preserves_new_registry_entries(self, spec):
+        """PR-10 registry entries (fault stacks, churned topologies,
+        sampled Zipf initials) must stay cacheable: simulate identically
+        after a real JSON hop."""
+        hopped = _json_hop(spec)
+        assert hopped == spec
+        assert _result_payloads(simulate(hopped).runs) == _result_payloads(simulate(spec).runs)
 
     def test_result_payload_survives_json_hop(self):
         """SimulationResult payloads (what the cache stores) round-trip too."""

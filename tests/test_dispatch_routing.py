@@ -25,8 +25,11 @@ from repro.engine.sequential import SequentialEngine
 from repro.engine.sparse_async import SparseContinuousEngine, SparseSequentialEngine
 from repro.engine.synchronous import SynchronousEngine
 from repro.graphs.complete import CompleteGraph
+from repro.graphs.dynamic import ChurnTopology
 from repro.graphs.sparse import ring
 from repro.protocols.async_plurality import AsyncPluralityProtocol
+from repro.protocols.faults import ByzantineProtocol, StubbornProtocol
+from repro.protocols.lossy import LossyProtocol
 from repro.protocols.one_extra_bit import OneExtraBitCounts, OneExtraBitSynchronous
 from repro.protocols.three_majority import ThreeMajorityCounts, ThreeMajoritySequential
 from repro.protocols.two_choices import (
@@ -44,6 +47,24 @@ RING = ring(64)
 # that the hazard-batched engine's block amortisation wins (CSR rings
 # are cheap to build at this size).
 BIG_RING = ring(SPARSE_SEQUENTIAL_CROSSOVER)
+DYNAMIC_RING = ChurnTopology(ring(64), churn_rate=0.1)
+BIG_DYNAMIC_RING = ChurnTopology(ring(SPARSE_SEQUENTIAL_CROSSOVER), churn_rate=0.1)
+
+
+def _lossy():
+    return LossyProtocol(TwoChoicesSequential(), 0.2)
+
+
+def _stubborn():
+    return StubbornProtocol(TwoChoicesSequential(), 0.1)
+
+
+def _byzantine():
+    return ByzantineProtocol(TwoChoicesSequential(), 0.1)
+
+
+def _stubborn_lossy():
+    return StubbornProtocol(LossyProtocol(TwoChoicesSequential(), 0.2), 0.1)
 
 # (case id, protocol factory, model, topology, delay, n_reps, expected engine class)
 ROUTING_TABLE = [
@@ -94,6 +115,33 @@ ROUTING_TABLE = [
     # No counts companion (the phased protocol): agent engine even on K_n.
     ("seq-async-plurality/K_n/1", AsyncPluralityProtocol, "sequential", K_N, None, 1, SequentialEngine),
     ("seq-async-plurality/K_n/R", AsyncPluralityProtocol, "sequential", K_N, None, 8, SequentialEngine),
+    # --- fault wrappers ---------------------------------------------------
+    # Wrappers never expose a counts companion (per-node masks have no
+    # counts-level law), so even on K_n the agent engines run.  Lossy
+    # has no footprint — its sampling depends on the loss draws — so it
+    # stays on the per-tick SequentialEngine at every size; the
+    # mask-based wrappers delegate the inner footprint and ride the
+    # size crossover like the bare protocol.
+    ("fault-lossy/K_n/1", _lossy, "sequential", K_N, None, 1, SequentialEngine),
+    ("fault-lossy/ring/1", _lossy, "sequential", RING, None, 1, SequentialEngine),
+    ("fault-lossy/big-ring/1", _lossy, "sequential", BIG_RING, None, 1, SequentialEngine),
+    ("fault-lossy/ring/cont", _lossy, "continuous", RING, None, 1, ContinuousEngine),
+    ("fault-stubborn/K_n/1", _stubborn, "sequential", K_N, None, 1, SequentialEngine),
+    ("fault-stubborn/ring/1", _stubborn, "sequential", RING, None, 1, SequentialEngine),
+    ("fault-stubborn/big-ring/1", _stubborn, "sequential", BIG_RING, None, 1, SparseSequentialEngine),
+    ("fault-stubborn/ring/cont", _stubborn, "continuous", RING, None, 1, SparseContinuousEngine),
+    ("fault-byzantine/big-ring/1", _byzantine, "sequential", BIG_RING, None, 1, SparseSequentialEngine),
+    # Composition inherits the innermost footprint-less seam: a lossy
+    # layer anywhere in the stack pins the per-tick engine.
+    ("fault-stubborn-lossy/big-ring/1", _stubborn_lossy, "sequential", BIG_RING, None, 1, SequentialEngine),
+    # --- dynamic topologies -----------------------------------------------
+    # The epoch clock rides the sequential engines' block loops, and the
+    # size crossover applies unchanged (ChurnTopology keeps the CSR
+    # presampling fast path).
+    ("dynamic-ring/seq/1", TwoChoicesSequential, "sequential", DYNAMIC_RING, None, 1, SequentialEngine),
+    ("dynamic-ring/seq/R", TwoChoicesSequential, "sequential", DYNAMIC_RING, None, 8, SequentialEngine),
+    ("dynamic-big-ring/seq/1", TwoChoicesSequential, "sequential", BIG_DYNAMIC_RING, None, 1, SparseSequentialEngine),
+    ("dynamic-ring/seq/stubborn", _stubborn, "sequential", DYNAMIC_RING, None, 1, SequentialEngine),
     # --- continuous model -------------------------------------------------
     ("cont/K_n/1", TwoChoicesSequential, "continuous", K_N, None, 1, CountsContinuousEngine),
     ("cont/K_n/R", TwoChoicesSequential, "continuous", K_N, None, 8, EnsembleCountsContinuousEngine),
@@ -130,6 +178,10 @@ REJECTION_TABLE = [
     ("sync-protocol-lacks-seq", TwoChoicesSynchronous, "sequential", K_N, None, 1, "sequential"),
     ("unknown-model", TwoChoicesSequential, "adiabatic", K_N, None, 1, "unknown model"),
     ("bad-n-reps", TwoChoicesSequential, "sequential", K_N, None, 0, "n_reps"),
+    # Dynamic topologies advance on a tick-epoch clock: only the
+    # sequential engines cut their blocks at epoch boundaries.
+    ("dynamic-rejects-continuous", TwoChoicesSequential, "continuous", DYNAMIC_RING, None, 1, "tick-epoch"),
+    ("dynamic-rejects-synchronous", TwoChoicesSynchronous, "synchronous", DYNAMIC_RING, None, 1, "tick-epoch"),
 ]
 
 

@@ -1,0 +1,221 @@
+"""Tests for the robustness workload layer (PR-10).
+
+Covers the ``fault_axis`` expansion contract (rate 0 = empty stack),
+the campaign builders, the ``phase_map`` / ``critical_rates`` folds,
+the seeded Zipf-sampled initials, the serial == process == warm-cache
+identity of a small robustness grid, and a miniature
+:func:`benchmark_robustness` payload with its warm-replay contract.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import INITIALS
+from repro.api.campaign import run_campaign
+from repro.bench.perf_robustness import benchmark_robustness
+from repro.core.colors import zipf_counts
+from repro.core.exceptions import ConfigurationError
+from repro.core.rng import as_generator
+from repro.workloads.robustness import (
+    FAULT_KINDS,
+    critical_rates,
+    fault_axis,
+    phase_map,
+    robustness_campaign,
+    zipf_robustness_campaign,
+)
+
+
+class TestFaultAxis:
+    def test_zero_rate_expands_to_empty_stack(self):
+        values = fault_axis("stubborn", [0.0, 0.1])
+        assert values[0] == []
+        assert values[1] == [{"name": "stubborn", "params": {"fraction": 0.1, "fault_seed": 0}}]
+
+    def test_loss_axis_has_no_fault_seed(self):
+        values = fault_axis("loss", [0.3], fault_seed=7)
+        assert values == [[{"name": "loss", "params": {"p": 0.3}}]]
+
+    def test_adversary_axis_pins_fault_seed(self):
+        values = fault_axis("byzantine", [0.2], fault_seed=5)
+        assert values == [[{"name": "byzantine", "params": {"fraction": 0.2, "fault_seed": 5}}]]
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.0, 1.5])
+    def test_out_of_range_rate_rejected(self, rate):
+        with pytest.raises(ConfigurationError, match="fault rates"):
+            fault_axis("loss", [rate])
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault"):
+            fault_axis("gremlins", [0.1])
+
+    def test_empty_rates_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            fault_axis("loss", [])
+
+
+class TestCampaignBuilders:
+    def test_grid_is_rate_outer_bias_inner(self):
+        campaign = robustness_campaign(
+            "two-choices", "stubborn", [0.0, 0.1], [10, 30, 50], n=80, reps=2
+        )
+        assert campaign.name == "robustness/two-choices/stubborn"
+        assert list(campaign.sweep.axes) == ["faults", "initial_params.gap"]
+        assert campaign.size == 6
+        specs = [point for point in campaign.points()]
+        # Row-major in axis-insertion order: the gap cycles fastest.
+        assert [spec.initial_params["gap"] for spec in specs] == [10, 30, 50, 10, 30, 50]
+        assert specs[0].faults == () and specs[3].faults != ()
+
+    def test_zipf_campaign_pins_the_draw(self):
+        campaign = zipf_robustness_campaign(
+            "three-majority", "stubborn", [0.0, 0.1], [0.5, 1.5], n=80, k=4, init_seed=3
+        )
+        assert campaign.name == "robustness-zipf/three-majority/stubborn"
+        assert campaign.base.initial == "zipf-sampled"
+        assert campaign.base.initial_params["init_seed"] == 3
+        assert campaign.size == 4
+
+    def test_empty_bias_axes_rejected(self):
+        with pytest.raises(ConfigurationError, match="gap"):
+            robustness_campaign("voter", "loss", [0.1], [])
+        with pytest.raises(ConfigurationError, match="exponent"):
+            zipf_robustness_campaign("voter", "loss", [0.1], [])
+
+
+class TestCriticalRates:
+    MAP = {
+        "rates": [0.0, 0.1, 0.2],
+        "biases": [10, 40, 80],
+        "consensus_rate": [[1.0, 1.0, 1.0], [0.4, 1.0, 1.0], [0.0, 0.9, 1.0]],
+        "plurality_rate": [[1.0, 1.0, 1.0], [0.4, 1.0, 1.0], [0.0, 0.3, 1.0]],
+    }
+
+    def test_boundary_is_last_passing_rate(self):
+        assert critical_rates(self.MAP) == [0.0, 0.1, 0.2]
+        assert critical_rates(self.MAP, stat="consensus_rate") == [0.0, 0.2, 0.2]
+
+    def test_rate_zero_failure_maps_to_none(self):
+        payload = dict(self.MAP)
+        payload["plurality_rate"] = [[0.2, 1.0, 1.0], [1.0, 1.0, 1.0], [1.0, 1.0, 1.0]]
+        assert critical_rates(payload)[0] is None
+
+    def test_scan_stops_at_first_failure(self):
+        # An isolated passing cell above the boundary must not count.
+        payload = dict(self.MAP)
+        payload["plurality_rate"] = [[1.0] * 3, [0.1, 1.0, 1.0], [0.9, 1.0, 1.0]]
+        assert critical_rates(payload)[0] == 0.0
+
+    def test_threshold_is_inclusive(self):
+        payload = dict(self.MAP)
+        payload["plurality_rate"] = [[0.5, 1.0, 1.0], [0.49, 1.0, 1.0], [0.0, 1.0, 1.0]]
+        assert critical_rates(payload)[0] == 0.0
+
+    def test_unknown_stat_rejected(self):
+        with pytest.raises(ConfigurationError, match="stat"):
+            critical_rates(self.MAP, stat="winner_rate")
+
+
+class TestZipfInitials:
+    def test_seeded_draw_is_deterministic(self):
+        first = zipf_counts(300, 6, alpha=1.0, rng=as_generator(9))
+        second = zipf_counts(300, 6, alpha=1.0, rng=as_generator(9))
+        assert first == second
+        assert sum(first.counts) == 300
+        assert first.k == 6
+
+    def test_heavier_tail_concentrates_the_head(self):
+        flat = zipf_counts(5000, 8, alpha=0.0, rng=as_generator(1))
+        steep = zipf_counts(5000, 8, alpha=2.0, rng=as_generator(1))
+        assert steep.counts[0] > flat.counts[0]
+
+    def test_registry_adapter_matches_core_function(self):
+        built = INITIALS.build("zipf-sampled", {"k": 6, "alpha": 1.0, "init_seed": 3}, 200)
+        assert built == zipf_counts(200, 6, alpha=1.0, rng=as_generator(3))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="k"):
+            zipf_counts(10, 0)
+        with pytest.raises(ConfigurationError, match="alpha"):
+            zipf_counts(10, 2, alpha=-1.0)
+
+
+def _tiny_campaign():
+    return robustness_campaign(
+        "two-choices", "stubborn", [0.0, 0.2], [8, 24], n=60, reps=2, seed=77, max_steps=2400
+    )
+
+
+def _deterministic(result) -> dict:
+    payload = result.to_dict()
+    payload.pop("execution")
+    return payload
+
+
+class TestPhaseMapFold:
+    def test_shape_and_ranges(self):
+        result = run_campaign(_tiny_campaign(), executor="serial")
+        folded = phase_map(result, [0.0, 0.2], [8, 24])
+        assert folded["rates"] == [0.0, 0.2]
+        assert folded["biases"] == [8, 24]
+        for key in ("consensus_rate", "plurality_rate"):
+            matrix = folded[key]
+            assert len(matrix) == 2 and all(len(row) == 2 for row in matrix)
+            assert all(0.0 <= cell <= 1.0 for row in matrix for cell in row)
+        assert json.dumps(folded)  # strictly JSON-serialisable (no NaN)
+
+    def test_size_mismatch_rejected(self):
+        result = run_campaign(_tiny_campaign(), executor="serial")
+        with pytest.raises(ConfigurationError, match="grid"):
+            phase_map(result, [0.0, 0.2], [8])
+
+
+class TestExecutionIdentity:
+    def test_serial_process_and_warm_cache_agree(self, tmp_path):
+        campaign = _tiny_campaign()
+        cold = run_campaign(campaign, executor="serial", cache=str(tmp_path))
+        assert cold.engine_runs == campaign.size
+        forked = run_campaign(campaign, executor="process", workers=2)
+        warm = run_campaign(campaign, executor="serial", cache=str(tmp_path))
+        assert warm.engine_runs == 0
+        assert warm.cache_hits == campaign.size
+        assert _deterministic(cold) == _deterministic(forked) == _deterministic(warm)
+
+
+class TestBenchmarkRobustnessMini:
+    SCALE = {
+        "n": 60,
+        "reps": 2,
+        "loss_rates": (0.0, 0.4),
+        "adversary_rates": (0.0, 0.2),
+        "gaps": (8, 20),
+        "zipf_rates": (0.0, 0.2),
+        "zipf_alphas": (1.0,),
+        "zipf_k": 4,
+        "max_steps_parallel": 40,
+    }
+
+    def test_payload_shape_and_warm_replay(self, tmp_path):
+        cold = benchmark_robustness(quick=True, scale=self.SCALE, cache=str(tmp_path))
+        # 2 protocols x 3 fault kinds + the zipf leg.
+        assert len(cold["grids"]) == 2 * len(FAULT_KINDS) + 1
+        assert cold["grids"][-1]["initial"] == "zipf-sampled"
+        for grid in cold["grids"]:
+            folded = grid["phase_map"]
+            assert len(folded["consensus_rate"]) == len(folded["rates"])
+            assert len(grid["critical_rates"]) == len(folded["biases"])
+        criteria = cold["criteria"]
+        assert criteria["degradation_assertable"] is False  # 2 reps < 4
+        slugs = [
+            f"{grid['protocol']}_{grid['fault']}".replace("-", "_") for grid in cold["grids"][:-1]
+        ] + ["zipf_three_majority_stubborn"]
+        for slug in slugs:
+            assert f"zero_fault_consensus_ok_{slug}" in criteria
+            assert f"fault_injection_bites_{slug}" in criteria
+        warm = benchmark_robustness(quick=True, scale=self.SCALE, cache=str(tmp_path))
+        assert warm["execution"]["engine_runs"] == 0
+        assert warm["execution"]["cache_hits"] > 0
+        strip = lambda payload: {k: v for k, v in payload.items() if k != "execution"}
+        assert json.dumps(strip(cold), sort_keys=True) == json.dumps(strip(warm), sort_keys=True)
